@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benches.
+ *
+ * Every bench binary accepts:
+ *   --mode=quick|full   quick (default): representative 6-workload
+ *                       subset, short traces - for CI and iteration.
+ *                       full: all 30 workloads, longer traces - the
+ *                       numbers recorded in EXPERIMENTS.md.
+ *   --csv               machine-readable output
+ *   --instr=<n>         override instructions per core
+ */
+
+#ifndef H2_BENCH_BENCH_COMMON_H
+#define H2_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "workloads/workload_registry.h"
+
+namespace h2::bench {
+
+struct BenchOptions
+{
+    bool full = false;
+    bool csv = false;
+    u64 instrPerCore = 0; ///< 0 = pick by mode
+
+    static BenchOptions parse(int argc, char **argv);
+
+    u64
+    effectiveInstrPerCore() const
+    {
+        if (instrPerCore)
+            return instrPerCore;
+        return full ? 3'000'000 : 300'000;
+    }
+
+    std::vector<workloads::Workload>
+    suite() const
+    {
+        return full ? workloads::allWorkloads() : workloads::quickSuite();
+    }
+
+    sim::RunConfig
+    runConfig(u64 nmBytes) const
+    {
+        sim::RunConfig cfg;
+        cfg.nmBytes = nmBytes;
+        cfg.instrPerCore = effectiveInstrPerCore();
+        // Warm caches and remap state before measuring, like the
+        // paper's SimPoint-sliced methodology.
+        cfg.warmupInstrPerCore = effectiveInstrPerCore();
+        return cfg;
+    }
+};
+
+/** Column-aligned (or CSV) table printer. */
+class Table
+{
+  public:
+    Table(std::vector<std::string> columns, bool csv);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+    bool csvMode;
+};
+
+/** Format a double with @p decimals digits. */
+std::string fmt(double v, int decimals = 2);
+
+/** Print a bench banner with the paper artifact it reproduces. */
+void banner(const std::string &title, const std::string &paperRef,
+            const BenchOptions &opts);
+
+/** Geometric means of @p metric per MPKI class and overall. */
+struct ClassGeomeans
+{
+    double high = 0.0;
+    double medium = 0.0;
+    double low = 0.0;
+    double all = 0.0;
+};
+
+ClassGeomeans
+geomeansByClass(const std::vector<workloads::Workload> &suite,
+                const std::function<double(const workloads::Workload &)>
+                    &metric);
+
+} // namespace h2::bench
+
+#endif // H2_BENCH_BENCH_COMMON_H

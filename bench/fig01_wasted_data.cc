@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 1 reproduction: average percentage of data brought into a 1 GB
+ * DRAM cache but never used before eviction, vs. cache line size.
+ * Paper series: 64B:0%  128B:6%  256B:10%  512B:15%  1KB:19%  2KB:22%
+ * 4KB:26%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 1: fetched-but-unused data vs. line size",
+                  "Figure 1", opts);
+    setLogQuiet(true);
+
+    const double paper[] = {0, 6, 10, 15, 19, 22, 26};
+    bench::Table table({"LineSize", "Wasted%(paper)", "Wasted%(sim)"},
+                       opts.csv);
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    int i = 0;
+    for (u32 line : {64, 128, 256, 512, 1024, 2048, 4096}) {
+        std::vector<double> wasted;
+        for (const auto &w : opts.suite()) {
+            const auto &m = runner.run(
+                w, "ideal:" + std::to_string(line));
+            wasted.push_back(
+                m.detail.get("cache.wastedFetchFraction") * 100.0);
+        }
+        table.addRow({std::to_string(line), bench::fmt(paper[i++], 0),
+                      bench::fmt(mean(wasted), 1)});
+    }
+    table.print();
+    return 0;
+}

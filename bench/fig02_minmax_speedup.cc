@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 2 reproduction: min, max, and geometric-mean speedup over the
+ * FM-only baseline for the motivation study - three migration schemes,
+ * the Tagless cache, DFC at line sizes 128..4096, and the IDEAL cache
+ * at line sizes 64..4096, all with 1 GB of NM.
+ *
+ * Paper geomeans: MPOD 1.32, CHA 1.37, LGM 1.43, TAGLESS 1.42,
+ * DFC(128..4096) 1.09/1.25/1.44/1.55/1.54/1.40,
+ * IDEAL(64..4096) 1.31/1.41/1.48/1.61/1.66/1.58/1.42.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 2: motivation - migration vs. DRAM caches",
+                  "Figure 2", opts);
+    setLogQuiet(true);
+
+    std::vector<std::pair<std::string, double>> designs = {
+        {"mempod", 1.32},     {"chameleon", 1.37}, {"lgm", 1.43},
+        {"tagless", 1.42},    {"dfc:128", 1.09},   {"dfc:256", 1.25},
+        {"dfc:512", 1.44},    {"dfc:1024", 1.55},  {"dfc:2048", 1.54},
+        {"dfc:4096", 1.40},   {"ideal:64", 1.31},  {"ideal:128", 1.41},
+        {"ideal:256", 1.48},  {"ideal:512", 1.61}, {"ideal:1024", 1.66},
+        {"ideal:2048", 1.58}, {"ideal:4096", 1.42},
+    };
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Design", "Min", "Max", "Geomean",
+                        "Geomean(paper)"},
+                       opts.csv);
+    for (const auto &[spec, paperGeo] : designs) {
+        Distribution d;
+        std::vector<double> speedups;
+        for (const auto &w : opts.suite()) {
+            double s = runner.speedup(w, spec);
+            d.sample(s);
+            speedups.push_back(s);
+        }
+        table.addRow({spec, bench::fmt(d.min()), bench::fmt(d.max()),
+                      bench::fmt(geomean(speedups)),
+                      bench::fmt(paperGeo)});
+    }
+    table.print();
+    return 0;
+}

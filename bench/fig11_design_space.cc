@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 11 reproduction: Hybrid2 design-space exploration over DRAM
+ * cache size {64,128} MB, sector size {2,4} KB, and cache line size
+ * {64..512} B; geometric-mean speedup over the FM-only baseline.
+ * The paper's best point: 64 MB cache, 2 KB sectors, 256 B lines.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "core/xta.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 11: Hybrid2 design-space exploration",
+                  "Figure 11", opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Cache", "Sector", "Line", "XTA(KiB)", "Geomean"},
+                       opts.csv);
+    for (u64 cacheMb : {64, 128}) {
+        for (u32 sector : {2048u, 4096u}) {
+            for (u32 line : {64u, 128u, 256u, 512u}) {
+                core::Xta xta(cacheMb * MiB / sector, 16, sector / line);
+                double xtaKib = double(xta.storageBytes()) / KiB;
+                std::string spec = "hybrid2:cache=" +
+                    std::to_string(cacheMb) + ",sector=" +
+                    std::to_string(sector) + ",line=" +
+                    std::to_string(line);
+                std::vector<double> speedups;
+                for (const auto &w : opts.suite())
+                    speedups.push_back(runner.speedup(w, spec));
+                table.addRow({std::to_string(cacheMb) + "MiB",
+                              std::to_string(sector),
+                              std::to_string(line),
+                              bench::fmt(xtaKib, 0),
+                              bench::fmt(geomean(speedups))});
+            }
+        }
+    }
+    table.print();
+    std::printf("\npaper best: 64MiB cache, 2048B sectors, 256B lines "
+                "(geomean 1.54)\n");
+    return 0;
+}

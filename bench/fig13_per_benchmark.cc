@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 13 reproduction: per-benchmark speedup over the FM-only
+ * baseline at the 1:16 NM:FM ratio for all six designs, benchmarks
+ * sorted by MPKI (Table 2 order).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 13: per-benchmark speedup (1:16)", "Figure 13",
+                  opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    std::vector<std::string> cols = {"Benchmark"};
+    for (const auto &spec : sim::evaluatedDesigns())
+        cols.push_back(spec);
+    bench::Table table(cols, opts.csv);
+    for (const auto &w : opts.suite()) {
+        std::vector<std::string> row = {w.name};
+        for (const auto &spec : sim::evaluatedDesigns())
+            row.push_back(bench::fmt(runner.speedup(w, spec)));
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

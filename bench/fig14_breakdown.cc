@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 14 reproduction: Hybrid2 performance-factor breakdown.
+ * Geometric-mean speedup for Cache-Only, Migr-All, Migr-None, No-Remap
+ * and full Hybrid2.
+ * Paper values: 1.43, 1.41, 1.39, 1.58, 1.54.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 14: Hybrid2 performance factors", "Figure 14",
+                  opts);
+    setLogQuiet(true);
+
+    std::vector<std::tuple<std::string, std::string, double>> variants = {
+        {"Cache-Only", "hybrid2:cacheonly", 1.43},
+        {"Migr-All", "hybrid2:migrall", 1.41},
+        {"Migr-None", "hybrid2:migrnone", 1.39},
+        {"No-Remap", "hybrid2:noremap", 1.58},
+        {"Hybrid2", "hybrid2", 1.54},
+    };
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Variant", "Geomean", "Geomean(paper)"},
+                       opts.csv);
+    for (const auto &[name, spec, paper] : variants) {
+        std::vector<double> speedups;
+        for (const auto &w : opts.suite())
+            speedups.push_back(runner.speedup(w, spec));
+        table.addRow({name, bench::fmt(geomean(speedups)),
+                      bench::fmt(paper)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 15 reproduction: percentage of processor memory requests
+ * served from NM, per MPKI class.
+ * Paper "All": MPOD 40%, CHA 69%, LGM 54%, TAGLESS 90%, DFC 85%,
+ * HYBRID2 84%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 15: requests served from NM (1:16)",
+                  "Figure 15", opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Design", "High%", "Medium%", "Low%", "All%"},
+                       opts.csv);
+    auto suite = opts.suite();
+    for (const auto &spec : sim::evaluatedDesigns()) {
+        auto g = bench::geomeansByClass(suite, [&](const auto &w) {
+            // Clamp away zeros so the geomean (paper's aggregate) is
+            // defined for workloads with no NM service.
+            return std::max(runner.run(w, spec).servedFromNm, 1e-3);
+        });
+        table.addRow({spec, bench::fmt(g.high * 100, 0),
+                      bench::fmt(g.medium * 100, 0),
+                      bench::fmt(g.low * 100, 0),
+                      bench::fmt(g.all * 100, 0)});
+    }
+    table.print();
+    return 0;
+}

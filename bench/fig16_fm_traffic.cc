@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 16 reproduction: FM traffic normalized to the FM-only
+ * baseline, per MPKI class (lower is better).
+ * Paper "All": MPOD 0.81, CHA 0.82, LGM 0.59, TAGLESS 0.53, DFC 0.40,
+ * HYBRID2 0.67.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 16: normalized FM traffic (1:16)", "Figure 16",
+                  opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Design", "High", "Medium", "Low", "All"},
+                       opts.csv);
+    auto suite = opts.suite();
+    for (const auto &spec : sim::evaluatedDesigns()) {
+        auto g = bench::geomeansByClass(suite, [&](const auto &w) {
+            double base = double(runner.run(w, "baseline").fmTrafficBytes);
+            double design = double(runner.run(w, spec).fmTrafficBytes);
+            return std::max(design / base, 1e-3);
+        });
+        table.addRow({spec, bench::fmt(g.high), bench::fmt(g.medium),
+                      bench::fmt(g.low), bench::fmt(g.all)});
+    }
+    table.print();
+    return 0;
+}

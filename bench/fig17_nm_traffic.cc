@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 17 reproduction: NM traffic normalized to the baseline's
+ * total memory traffic, per MPKI class.
+ * Paper "All": MPOD 0.91, CHA 1.47, LGM 0.92, TAGLESS 1.72, DFC 1.60,
+ * HYBRID2 1.69.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 17: normalized NM traffic (1:16)", "Figure 17",
+                  opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Design", "High", "Medium", "Low", "All"},
+                       opts.csv);
+    auto suite = opts.suite();
+    for (const auto &spec : sim::evaluatedDesigns()) {
+        auto g = bench::geomeansByClass(suite, [&](const auto &w) {
+            double base = double(runner.run(w, "baseline").fmTrafficBytes);
+            double design = double(runner.run(w, spec).nmTrafficBytes);
+            return std::max(design / base, 1e-3);
+        });
+        table.addRow({spec, bench::fmt(g.high), bench::fmt(g.medium),
+                      bench::fmt(g.low), bench::fmt(g.all)});
+    }
+    table.print();
+    return 0;
+}

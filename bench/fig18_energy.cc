@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 18 reproduction: dynamic memory energy normalized to the
+ * FM-only baseline, per MPKI class.
+ * Paper "All": MPOD 1.33, CHA 1.73, LGM 1.27, TAGLESS 1.59, DFC 1.48,
+ * HYBRID2 1.69.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 18: normalized dynamic memory energy (1:16)",
+                  "Figure 18", opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Design", "High", "Medium", "Low", "All"},
+                       opts.csv);
+    auto suite = opts.suite();
+    for (const auto &spec : sim::evaluatedDesigns()) {
+        auto g = bench::geomeansByClass(suite, [&](const auto &w) {
+            double base = runner.run(w, "baseline").dynamicEnergyPj;
+            double design = runner.run(w, spec).dynamicEnergyPj;
+            return design / base;
+        });
+        table.addRow({spec, bench::fmt(g.high), bench::fmt(g.medium),
+                      bench::fmt(g.low), bench::fmt(g.all)});
+    }
+    table.print();
+    return 0;
+}

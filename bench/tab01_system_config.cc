@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Table 1 reproduction: print the evaluated system configuration for
+ * every NM:FM ratio used in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "sim/sim_config.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Table 1: system configuration", "Table 1", opts);
+
+    for (u64 nmGb : {1, 2, 4}) {
+        std::printf("--- NM:FM ratio %llu:16 ---\n",
+                    (unsigned long long)nmGb);
+        auto cfg = sim::table1Config(nmGb * GiB);
+        std::printf("%s\n", sim::describeConfig(cfg).c_str());
+    }
+    return 0;
+}

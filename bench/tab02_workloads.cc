@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 2 reproduction: measured MPKI, footprint and memory traffic of
+ * every workload on the FM-only baseline (the paper characterizes its
+ * benchmarks the same way).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/units.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Table 2: benchmark characteristics", "Table 2", opts);
+    setLogQuiet(true);
+
+    sim::Runner runner(opts.runConfig(1 * GiB));
+    bench::Table table({"Benchmark", "Class", "Type", "MPKI(paper)",
+                        "MPKI(sim)", "Footprint(GB)", "Traffic(GB/Binstr)"},
+                       opts.csv);
+    for (const auto &w : opts.suite()) {
+        const auto &m = runner.run(w, "baseline");
+        // The paper reports traffic over 1B instructions; rescale.
+        double bytes = double(m.fmTrafficBytes);
+        double perBillion = bytes / double(m.instructions) * 1e9;
+        table.addRow({w.name, to_string(w.cls),
+                      w.multithreaded ? "MT" : "MP",
+                      bench::fmt(w.paperMpki, 1), bench::fmt(m.mpki, 1),
+                      bench::fmt(double(w.footprintBytes) / GiB, 1),
+                      bench::fmt(perBillion / GiB, 1)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,264 @@
+#include "baselines/chameleon.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace h2::baselines {
+
+namespace {
+
+ChameleonParams
+resolveParams(const mem::MemSystemParams &sys, ChameleonParams cfg)
+{
+    if (cfg.cacheSliceBytes == 0)
+        cfg.cacheSliceBytes = sys.nmBytes / 16;
+    return cfg;
+}
+
+cache::CacheParams
+cacheModeParams(const ChameleonParams &cfg)
+{
+    cache::CacheParams p;
+    p.name = "chameleonCacheMode";
+    p.sizeBytes = cfg.cacheSliceBytes;
+    p.ways = 16;
+    p.lineBytes = cfg.segmentBytes;
+    p.repl = cache::ReplPolicy::Lru;
+    return p;
+}
+
+cache::CacheParams
+sketchParams()
+{
+    cache::CacheParams p;
+    p.name = "chameleonOnceSketch";
+    p.sizeBytes = 64 * 1024 * 8; // 64K segment entries of 8 B each
+    p.ways = 8;
+    p.lineBytes = 8;
+    p.repl = cache::ReplPolicy::Lru;
+    return p;
+}
+
+} // namespace
+
+Chameleon::Chameleon(const mem::MemSystemParams &sysParams,
+                     const ChameleonParams &params)
+    : mem::HybridMemory(sysParams,
+                        dram::DramParams::hbm2(sysParams.nmBytes),
+                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+      cfg(resolveParams(sysParams, params)),
+      nmGroupSegs((sysParams.nmBytes - cfg.cacheSliceBytes)
+                  / cfg.segmentBytes),
+      fmSegs(sysParams.fmBytes / cfg.segmentBytes),
+      remapCache(),
+      cacheMode(cacheModeParams(cfg)),
+      onceSketch(sketchParams())
+{
+    h2_assert(cfg.cacheSliceBytes < sysParams.nmBytes,
+              "cache slice must leave room for group mode");
+}
+
+u64
+Chameleon::flatCapacity() const
+{
+    return (nmGroupSegs + fmSegs) * u64(cfg.segmentBytes);
+}
+
+u64
+Chameleon::groupOf(u64 seg) const
+{
+    if (isNative(seg))
+        return seg;
+    return (seg - nmGroupSegs) % nmGroupSegs;
+}
+
+u64
+Chameleon::fmHomeOf(u64 seg) const
+{
+    h2_assert(!isNative(seg), "native segments have no FM home");
+    return seg - nmGroupSegs;
+}
+
+Chameleon::GroupState &
+Chameleon::state(u64 group)
+{
+    auto it = groups.find(group);
+    if (it == groups.end())
+        it = groups.emplace(group, GroupState{nativeOf(group)}).first;
+    return it->second;
+}
+
+bool
+Chameleon::touchedBefore(u64 seg)
+{
+    if (onceSketch.access(seg * 8, AccessType::Read))
+        return true;
+    onceSketch.insert(seg * 8, false);
+    return false;
+}
+
+bool
+Chameleon::inNmSlot(u64 seg) const
+{
+    auto it = groups.find(groupOf(seg));
+    if (it == groups.end())
+        return isNative(seg);
+    return it->second.nmMember == seg;
+}
+
+Tick
+Chameleon::metaAccess(AccessType type, Tick at)
+{
+    u64 region = std::min<u64>(16 * MiB, sys.nmBytes / 4);
+    Addr addr = (splitmix64(metaRotor++) * 64) % region;
+    addr &= ~Addr(63);
+    if (type == AccessType::Read)
+        ++nMetaReads;
+    else
+        ++nMetaWrites;
+    return nm->access(addr, 64, type, at);
+}
+
+void
+Chameleon::promote(u64 group, u64 seg, Tick now)
+{
+    GroupState &st = state(group);
+    h2_assert(st.nmMember != seg, "promoting the resident segment");
+    u64 segB = cfg.segmentBytes;
+    Addr nmSlot = group * segB;
+    u64 old = st.nmMember;
+
+    if (seg == nativeOf(group)) {
+        // The displaced native wins back its slot: plain swap with the
+        // member currently holding it (the native lives in that
+        // member's FM home).
+        nm->access(nmSlot, segB, AccessType::Read, now);
+        fm->access(fmHomeOf(old) * segB, segB, AccessType::Read, now);
+        nm->access(nmSlot, segB, AccessType::Write, now);
+        fm->access(fmHomeOf(old) * segB, segB, AccessType::Write, now);
+    } else if (old == nativeOf(group)) {
+        // Plain pairwise swap: native <-> seg.
+        nm->access(nmSlot, segB, AccessType::Read, now);
+        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Read, now);
+        nm->access(nmSlot, segB, AccessType::Write, now);
+        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Write, now);
+    } else {
+        // Three-way exchange: old returns home, native moves to seg's
+        // home, seg enters the NM slot.
+        nm->access(nmSlot, segB, AccessType::Read, now);
+        fm->access(fmHomeOf(old) * segB, segB, AccessType::Read, now);
+        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Read, now);
+        nm->access(nmSlot, segB, AccessType::Write, now);
+        fm->access(fmHomeOf(old) * segB, segB, AccessType::Write, now);
+        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Write, now);
+    }
+    st.nmMember = seg;
+    st.challenger = ~u64(0);
+    st.counter = 0;
+    metaAccess(AccessType::Write, now);
+    remapCache.invalidate(group);
+    // The promoted segment's data left the cache-mode slice's domain.
+    cacheMode.invalidate(seg * segB);
+    ++nSwaps;
+}
+
+mem::MemResult
+Chameleon::access(Addr addr, AccessType type, Tick now)
+{
+    h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
+              "access beyond flat capacity");
+    u64 seg = addr / cfg.segmentBytes;
+    u64 offset = addr % cfg.segmentBytes;
+    u64 group = groupOf(seg);
+    u64 segB = cfg.segmentBytes;
+
+    Tick start = now + sys.controllerLatencyPs;
+    if (!remapCache.lookup(group))
+        start = metaAccess(AccessType::Read, start);
+
+    GroupState &st = state(group);
+    Tick done;
+    bool fromNm;
+    if (st.nmMember == seg) {
+        // Served from the group's NM slot.
+        if (st.counter > 0)
+            --st.counter;
+        done = nm->access(group * segB + offset, mem::llcLineBytes, type,
+                          start);
+        fromNm = true;
+    } else {
+        // FM-resident (either its own home, or the native segment
+        // displaced into the promoted member's home).
+        u64 fmLoc = isNative(seg) ? fmHomeOf(st.nmMember) : fmHomeOf(seg);
+
+        // Cache-mode slice: segment-granular cache in front of FM.
+        Addr cacheKey = seg * segB;
+        if (cfg.cacheMode && cacheMode.access(cacheKey, type)) {
+            ++nCacheModeHits;
+            Addr nmBase = sys.nmBytes - cfg.cacheSliceBytes;
+            done = nm->access(nmBase + cacheKey % cfg.cacheSliceBytes
+                              + offset, mem::llcLineBytes, type, start);
+            fromNm = true;
+        } else {
+            done = fm->access(fmLoc * segB + offset, mem::llcLineBytes,
+                              type, start);
+            fromNm = false;
+            if (cfg.cacheMode && touchedBefore(seg)) {
+                // Fill the whole segment into the cache slice on
+                // reuse; first touches only register in the sketch.
+                ++nCacheModeFills;
+                auto victim = cacheMode.insert(cacheKey, false);
+                Addr nmBase = sys.nmBytes - cfg.cacheSliceBytes;
+                if (victim && victim->dirty) {
+                    u64 vSeg = victim->addr / segB;
+                    u64 vLoc = isNative(vSeg)
+                        ? fmHomeOf(state(groupOf(vSeg)).nmMember)
+                        : fmHomeOf(vSeg);
+                    nm->access(nmBase
+                               + victim->addr % cfg.cacheSliceBytes,
+                               segB, AccessType::Read, done);
+                    fm->access(vLoc * segB, segB, AccessType::Write,
+                               done);
+                }
+                fm->access(fmLoc * segB, segB, AccessType::Read, done);
+                nm->access(nmBase + cacheKey % cfg.cacheSliceBytes, segB,
+                           AccessType::Write, done);
+            }
+
+            // Competing counter (MJRTY-style), advanced only by
+            // requests the cache mode could not absorb: persistent
+            // reuse beyond the cache slice earns a swap, transients
+            // do not.
+            if (st.challenger == seg) {
+                ++st.counter;
+            } else if (st.counter == 0) {
+                st.challenger = seg;
+                st.counter = 1;
+            } else {
+                --st.counter;
+            }
+            if (st.counter >= cfg.competingK)
+                promote(group, seg, now);
+        }
+    }
+    recordService(fromNm);
+    return {done, fromNm};
+}
+
+void
+Chameleon::collectStats(StatSet &out) const
+{
+    mem::HybridMemory::collectStats(out);
+    out.add("chameleon.swaps", double(nSwaps));
+    out.add("chameleon.cacheModeHits", double(nCacheModeHits));
+    out.add("chameleon.cacheModeFills", double(nCacheModeFills));
+    out.add("chameleon.remapCacheHits", double(remapCache.hits()));
+    out.add("chameleon.remapCacheMisses", double(remapCache.misses()));
+    out.add("chameleon.metaReads", double(nMetaReads));
+    out.add("chameleon.metaWrites", double(nMetaWrites));
+}
+
+} // namespace h2::baselines

@@ -1,0 +1,24 @@
+#include "baselines/flat_baseline.h"
+
+#include "common/log.h"
+
+namespace h2::baselines {
+
+FlatBaseline::FlatBaseline(const mem::MemSystemParams &sysParams)
+    : mem::HybridMemory(sysParams,
+                        dram::DramParams::ddr4_3200(sysParams.fmBytes))
+{
+}
+
+mem::MemResult
+FlatBaseline::access(Addr addr, AccessType type, Tick now)
+{
+    h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
+              "access beyond FM capacity");
+    Tick done = fm->access(addr, mem::llcLineBytes, type,
+                           now + sys.controllerLatencyPs);
+    recordService(false);
+    return {done, false};
+}
+
+} // namespace h2::baselines

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The normalization baseline: an FM-only system with no 3D-stacked DRAM.
+ * Every result in the paper's evaluation is a speedup over this design.
+ */
+
+#ifndef H2_BASELINES_FLAT_BASELINE_H
+#define H2_BASELINES_FLAT_BASELINE_H
+
+#include "mem/hybrid_memory.h"
+
+namespace h2::baselines {
+
+class FlatBaseline : public mem::HybridMemory
+{
+  public:
+    explicit FlatBaseline(const mem::MemSystemParams &sysParams);
+
+    mem::MemResult access(Addr addr, AccessType type, Tick now) override;
+    std::string name() const override { return "BASELINE"; }
+    u64 flatCapacity() const override { return sys.fmBytes; }
+};
+
+} // namespace h2::baselines
+
+#endif // H2_BASELINES_FLAT_BASELINE_H

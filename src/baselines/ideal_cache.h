@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRAM-cache baselines: the IDEAL cache of Figure 2 (no tag or metadata
+ * overheads, parametric line size) and, as thin specializations in
+ * sibling headers, the Tagless DRAM cache and the Decoupled Fused Cache.
+ *
+ * All NM capacity is the cache's data array; main memory is FM only.
+ * The cache also tracks which 64 B blocks of each fetched line were
+ * actually used, which produces the paper's Figure 1 (fetched-but-unused
+ * data vs. line size).
+ */
+
+#ifndef H2_BASELINES_IDEAL_CACHE_H
+#define H2_BASELINES_IDEAL_CACHE_H
+
+#include <unordered_map>
+
+#include "cache/set_assoc_cache.h"
+#include "mem/hybrid_memory.h"
+
+namespace h2::baselines {
+
+/** Configuration of a DRAM-cache baseline. */
+struct DramCacheParams
+{
+    u32 lineBytes = 1024;
+    u32 ways = 16;
+    /** Extra fixed latency per lookup (tag handling), ps. */
+    Tick tagLatencyPs = 0;
+};
+
+class IdealCache : public mem::HybridMemory
+{
+  public:
+    IdealCache(const mem::MemSystemParams &sysParams,
+               const DramCacheParams &cacheParams,
+               const std::string &displayName = "IDEAL");
+
+    mem::MemResult access(Addr addr, AccessType type, Tick now) override;
+    std::string name() const override { return label; }
+    u64 flatCapacity() const override { return sys.fmBytes; }
+    void collectStats(StatSet &out) const override;
+
+    const DramCacheParams &cacheParams() const { return cp; }
+
+    /** Fraction of fetched 64 B blocks never accessed before eviction
+     *  (evaluated over evicted lines; Figure 1). */
+    double wastedFetchFraction() const;
+
+    u64 fills() const { return nFills; }
+    u64 lineHits() const { return nHits; }
+
+  protected:
+    /**
+     * Hook for subclasses: charge tag-lookup cost for @p addr at @p now.
+     * Returns the time at which the data access may start and whether
+     * the request went through without extra memory traffic.
+     */
+    virtual Tick tagLookup(Addr addr, Tick now);
+
+    /** Hook: metadata update on a fill (e.g. tag store write). */
+    virtual void onFill(Addr lineAddr, Tick now);
+
+    DramCacheParams cp;
+    std::string label;
+    cache::SetAssocCache tags;
+
+    /** Per-resident-line bitmap of 64 B blocks touched since fill. */
+    std::unordered_map<Addr, u64> usedBlocks;
+
+    u64 nHits = 0;
+    u64 nFills = 0;
+    u64 fetchedBlocks = 0; ///< 64 B blocks brought in by fills
+    u64 wastedBlocks = 0;  ///< fetched blocks never used, over evictions
+    u64 evictedLines = 0;
+};
+
+} // namespace h2::baselines
+
+#endif // H2_BASELINES_IDEAL_CACHE_H

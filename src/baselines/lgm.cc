@@ -1,0 +1,144 @@
+#include "baselines/lgm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace h2::baselines {
+
+Lgm::Lgm(const mem::MemSystemParams &sysParams, const mem::LlcView &llcView,
+         const LgmParams &params)
+    : mem::HybridMemory(sysParams,
+                        dram::DramParams::hbm2(sysParams.nmBytes),
+                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+      cfg(params),
+      nmSegs(sysParams.nmBytes / cfg.segmentBytes),
+      fmSegs(sysParams.fmBytes / cfg.segmentBytes),
+      remap(nmSegs + fmSegs, nmSegs, 0, fmSegs),
+      remapCache(),
+      llc(llcView),
+      nextInterval(cfg.intervalPs)
+{
+}
+
+Tick
+Lgm::metaAccess(AccessType type, Tick at)
+{
+    u64 region = std::min<u64>(16 * MiB, sys.nmBytes / 4);
+    Addr addr = (splitmix64(metaRotor++) * 64) % region;
+    addr &= ~Addr(63);
+    if (type == AccessType::Read)
+        ++nMetaReads;
+    else
+        ++nMetaWrites;
+    return nm->access(addr, 64, type, at);
+}
+
+void
+Lgm::migrateSegment(u64 hotSeg, Tick now)
+{
+    core::Loc hotHome = remap.lookup(hotSeg);
+    if (hotHome.inNm)
+        return; // migrated by an earlier candidate this interval
+    u64 segB = cfg.segmentBytes;
+
+    // FIFO victim over the NM locations.
+    u64 nmLoc = fifoPtr % nmSegs;
+    fifoPtr += 1;
+    auto resident = remap.invLookup(nmLoc);
+    h2_assert(resident, "LGM NM location with no resident");
+    metaAccess(AccessType::Read, now); // inverted remap table read
+
+    // Bandwidth economizing: skip lines of both segments that are
+    // currently in the LLC (they will be written back to the new homes).
+    u32 lines = segB / mem::llcLineBytes;
+    u32 hotResident = llc.residentLines(hotSeg * segB, segB);
+    u32 victimResident = llc.residentLines(*resident * segB, segB);
+    nLlcLinesSkipped += hotResident + victimResident;
+    u32 hotBytes = (lines - hotResident) * mem::llcLineBytes;
+    u32 victimBytes = (lines - victimResident) * mem::llcLineBytes;
+
+    if (victimBytes > 0) {
+        nm->access(nmLoc * u64(segB), victimBytes, AccessType::Read, now);
+        fm->access(hotHome.idx * u64(segB), victimBytes,
+                   AccessType::Write, now);
+    }
+    if (hotBytes > 0) {
+        fm->access(hotHome.idx * u64(segB), hotBytes, AccessType::Read,
+                   now);
+        nm->access(nmLoc * u64(segB), hotBytes, AccessType::Write, now);
+    }
+
+    remap.update(hotSeg, core::Loc{true, nmLoc});
+    remap.update(*resident, core::Loc{false, hotHome.idx});
+    remap.invUpdate(nmLoc, hotSeg);
+    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, now);
+    remapCache.invalidate(hotSeg);
+    remapCache.invalidate(*resident);
+    ++nMigrations;
+}
+
+void
+Lgm::endInterval(Tick now)
+{
+    std::vector<std::pair<u32, u64>> hot;
+    for (const auto &[seg, count] : intervalCounts)
+        if (count >= cfg.watermark)
+            hot.emplace_back(count, seg);
+    std::sort(hot.rbegin(), hot.rend());
+    if (hot.size() > cfg.maxMigrationsPerInterval)
+        hot.resize(cfg.maxMigrationsPerInterval);
+    for (const auto &[count, seg] : hot)
+        migrateSegment(seg, now);
+    intervalCounts.clear();
+    ++nIntervals;
+}
+
+mem::MemResult
+Lgm::access(Addr addr, AccessType type, Tick now)
+{
+    h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
+              "access beyond flat capacity");
+    while (now >= nextInterval) {
+        endInterval(nextInterval);
+        nextInterval += cfg.intervalPs;
+    }
+
+    u64 seg = addr / cfg.segmentBytes;
+    u64 offset = addr % cfg.segmentBytes;
+    Tick start = now + sys.controllerLatencyPs;
+    if (!remapCache.lookup(seg))
+        start = metaAccess(AccessType::Read, start);
+
+    core::Loc loc = remap.lookup(seg);
+    Tick done;
+    if (loc.inNm) {
+        done = nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+                          mem::llcLineBytes, type, start);
+    } else {
+        done = fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+                          mem::llcLineBytes, type, start);
+        ++intervalCounts[seg];
+    }
+    recordService(loc.inNm);
+    return {done, loc.inNm};
+}
+
+void
+Lgm::collectStats(StatSet &out) const
+{
+    mem::HybridMemory::collectStats(out);
+    out.add("lgm.migrations", double(nMigrations));
+    out.add("lgm.intervals", double(nIntervals));
+    out.add("lgm.llcLinesSkipped", double(nLlcLinesSkipped));
+    out.add("lgm.remapCacheHits", double(remapCache.hits()));
+    out.add("lgm.remapCacheMisses", double(remapCache.misses()));
+    out.add("lgm.metaReads", double(nMetaReads));
+    out.add("lgm.metaWrites", double(nMetaWrites));
+}
+
+} // namespace h2::baselines

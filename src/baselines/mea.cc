@@ -1,0 +1,54 @@
+#include "baselines/mea.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace h2::baselines {
+
+Mea::Mea(u32 numCounters)
+    : k(numCounters)
+{
+    h2_assert(k > 0, "MEA needs at least one counter");
+    counters.reserve(k + 1);
+}
+
+void
+Mea::touch(u64 element)
+{
+    auto it = counters.find(element);
+    if (it != counters.end()) {
+        ++it->second;
+        return;
+    }
+    if (counters.size() < k) {
+        counters.emplace(element, 1);
+        return;
+    }
+    // Decrement-all step: every tracked count drops by one; zeroed
+    // entries fall out of the sketch.
+    for (auto iter = counters.begin(); iter != counters.end();) {
+        if (--iter->second == 0)
+            iter = counters.erase(iter);
+        else
+            ++iter;
+    }
+}
+
+std::vector<std::pair<u64, u64>>
+Mea::tracked() const
+{
+    std::vector<std::pair<u64, u64>> out(counters.begin(), counters.end());
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        return a.second > b.second;
+    });
+    return out;
+}
+
+void
+Mea::clear()
+{
+    counters.clear();
+}
+
+} // namespace h2::baselines

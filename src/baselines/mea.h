@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Majority Element Algorithm (MEA) counters, Karp/Shenker/Papadimitriou,
+ * as used by MemPod to identify hot 2 KB segments within an interval.
+ */
+
+#ifndef H2_BASELINES_MEA_H
+#define H2_BASELINES_MEA_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2::baselines {
+
+/**
+ * Streaming frequent-elements sketch with @p k counters. Elements seen
+ * more than N/(k+1) times in a stream of length N are guaranteed to be
+ * tracked.
+ */
+class Mea
+{
+  public:
+    explicit Mea(u32 numCounters = 64);
+
+    /** Account one occurrence of @p element. */
+    void touch(u64 element);
+
+    /** Elements currently tracked, most-counted first. */
+    std::vector<std::pair<u64, u64>> tracked() const;
+
+    void clear();
+    u32 capacity() const { return k; }
+    u64 size() const { return counters.size(); }
+
+  private:
+    u32 k;
+    std::unordered_map<u64, u64> counters;
+};
+
+} // namespace h2::baselines
+
+#endif // H2_BASELINES_MEA_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * MemPod (Prodromou et al., HPCA'17) baseline.
+ *
+ * A clustered flat-address-space migration scheme: NM and FM are split
+ * into pods; within each pod, an MEA (Majority Element Algorithm) sketch
+ * identifies hot 2 KB segments over a fixed interval, and at interval
+ * boundaries the tracked segments are swapped into the pod's NM slice.
+ * Remapping is all-to-all within a pod, with the in-memory remap table
+ * fronted by an on-chip remap cache sized like Hybrid2's XTA.
+ *
+ * Paper configuration (section 5): 64 MEA counters, 50 us intervals.
+ */
+
+#ifndef H2_BASELINES_MEMPOD_H
+#define H2_BASELINES_MEMPOD_H
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/mea.h"
+#include "common/units.h"
+#include "baselines/remap_cache.h"
+#include "core/remap_table.h"
+#include "mem/hybrid_memory.h"
+
+namespace h2::baselines {
+
+struct MemPodParams
+{
+    u32 segmentBytes = 2048;
+    u32 pods = 8;
+    u32 meaCounters = 64;
+    Tick intervalPs = 50 * psPerUs;
+    /** Minimum MEA count for a segment to be worth swapping in; filters
+     *  the one-touch noise that streaming leaves in the sketch. */
+    u64 minCountToMigrate = 4;
+    /** Swap-bandwidth cap per pod per interval. */
+    u32 maxMigrationsPerPodInterval = 32;
+    /** Require a segment to be MEA-tracked in two consecutive intervals
+     *  before it migrates; one-shot spatial bursts never repay a swap. */
+    bool requirePersistence = true;
+};
+
+class MemPod : public mem::HybridMemory
+{
+  public:
+    MemPod(const mem::MemSystemParams &sysParams,
+           const MemPodParams &params = {});
+
+    mem::MemResult access(Addr addr, AccessType type, Tick now) override;
+    std::string name() const override { return "MPOD"; }
+    u64 flatCapacity() const override { return sys.nmBytes + sys.fmBytes; }
+    void collectStats(StatSet &out) const override;
+    void checkInvariants() const override;
+
+    u64 migrations() const { return nMigrations; }
+    core::Loc locate(u64 flatSeg) const { return remap.lookup(flatSeg); }
+
+  private:
+    void endInterval(Tick now);
+    void swapSegments(u64 hotSeg, u64 nmLoc, Tick now);
+    Tick metaAccess(AccessType type, Tick at);
+
+    MemPodParams cfg;
+    u64 nmSegs;
+    u64 fmSegs;
+    core::RemapTable remap; ///< reused with a zero cache region
+    RemapCache remapCache;
+    std::vector<Mea> podMea;
+    std::vector<u64> podFifo; ///< round-robin NM victim pointer per pod
+    std::unordered_set<u64> prevTracked; ///< MEA survivors, last interval
+    Tick nextInterval;
+    u64 metaRotor = 0;
+
+    u64 nMigrations = 0;
+    u64 nIntervals = 0;
+    u64 nMetaReads = 0;
+    u64 nMetaWrites = 0;
+};
+
+} // namespace h2::baselines
+
+#endif // H2_BASELINES_MEMPOD_H

@@ -1,0 +1,24 @@
+#include "baselines/tagless_cache.h"
+
+namespace h2::baselines {
+
+namespace {
+
+DramCacheParams
+taglessParams()
+{
+    DramCacheParams p;
+    p.lineBytes = 4096; // OS page granularity
+    p.ways = 16;
+    p.tagLatencyPs = 0; // TLB-resident metadata: no lookup overhead
+    return p;
+}
+
+} // namespace
+
+TaglessCache::TaglessCache(const mem::MemSystemParams &sysParams)
+    : IdealCache(sysParams, taglessParams(), "TAGLESS")
+{
+}
+
+} // namespace h2::baselines

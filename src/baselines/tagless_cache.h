@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Tagless DRAM cache (Lee et al., ISCA'15) baseline.
+ *
+ * The Tagless design tracks DRAM-cache contents through the page tables
+ * and TLBs, so it pays no tag-lookup cost, but it caches whole 4 KB
+ * pages. Per the paper's methodology ("we optimistically do not model
+ * any operating system overheads") it behaves as an overhead-free page-
+ * granular cache - which is exactly the IDEAL cache at a 4 KB line.
+ * Its weakness, reproduced here, is page-granularity over-fetch on
+ * workloads with poor spatial locality.
+ */
+
+#ifndef H2_BASELINES_TAGLESS_CACHE_H
+#define H2_BASELINES_TAGLESS_CACHE_H
+
+#include "baselines/ideal_cache.h"
+
+namespace h2::baselines {
+
+class TaglessCache : public IdealCache
+{
+  public:
+    explicit TaglessCache(const mem::MemSystemParams &sysParams);
+};
+
+} // namespace h2::baselines
+
+#endif // H2_BASELINES_TAGLESS_CACHE_H

@@ -1,0 +1,158 @@
+#include "cache/set_assoc_cache.h"
+
+#include "common/log.h"
+
+namespace h2::cache {
+
+SetAssocCache::SetAssocCache(const CacheParams &params)
+    : cfg(params)
+{
+    h2_assert(cfg.sizeBytes > 0 && cfg.ways > 0 && cfg.lineBytes > 0,
+              cfg.name, ": bad cache geometry");
+    h2_assert(cfg.sizeBytes % (u64(cfg.ways) * cfg.lineBytes) == 0,
+              cfg.name, ": size not divisible by ways*lineBytes");
+    sets = static_cast<u32>(cfg.sizeBytes / (u64(cfg.ways) * cfg.lineBytes));
+    h2_assert(sets > 0, cfg.name, ": zero sets");
+    lines.resize(u64(sets) * cfg.ways);
+}
+
+SetAssocCache::Line *
+SetAssocCache::find(Addr addr)
+{
+    u64 block = blockIndex(addr);
+    u32 set = setIndex(block);
+    u64 tag = tagOf(block);
+    Line *base = &lines[u64(set) * cfg.ways];
+    for (u32 w = 0; w < cfg.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::find(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->find(addr);
+}
+
+bool
+SetAssocCache::access(Addr addr, AccessType type)
+{
+    Line *line = find(addr);
+    if (!line) {
+        ++nMisses;
+        return false;
+    }
+    ++nHits;
+    if (cfg.repl == ReplPolicy::Lru)
+        line->stamp = ++clock;
+    if (type == AccessType::Write)
+        line->dirty = true;
+    return true;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+SetAssocCache::probeDirty(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line && line->dirty;
+}
+
+std::optional<Eviction>
+SetAssocCache::insert(Addr addr, bool dirty)
+{
+    h2_assert(!probe(addr), cfg.name, ": double insert of addr ", addr);
+    u64 block = blockIndex(addr);
+    u32 set = setIndex(block);
+    Line *base = &lines[u64(set) * cfg.ways];
+
+    u64 stamps[64];
+    bool valids[64];
+    h2_assert(cfg.ways <= 64, cfg.name, ": >64 ways unsupported");
+    for (u32 w = 0; w < cfg.ways; ++w) {
+        stamps[w] = base[w].stamp;
+        valids[w] = base[w].valid;
+    }
+    u32 victim = selectVictim(cfg.repl, stamps, valids, cfg.ways, ++clock);
+
+    std::optional<Eviction> evicted;
+    Line &slot = base[victim];
+    if (slot.valid) {
+        ++nEvictions;
+        if (slot.dirty)
+            ++nDirtyEvictions;
+        evicted = Eviction{lineAddr(set, slot.tag), slot.dirty};
+    }
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.tag = tagOf(block);
+    slot.stamp = ++clock;
+    return evicted;
+}
+
+std::optional<bool>
+SetAssocCache::invalidate(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return std::nullopt;
+    bool wasDirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    line->stamp = 0;
+    return wasDirty;
+}
+
+void
+SetAssocCache::setDirty(Addr addr)
+{
+    Line *line = find(addr);
+    h2_assert(line, cfg.name, ": setDirty on absent line ", addr);
+    line->dirty = true;
+}
+
+u32
+SetAssocCache::residentLinesInRange(Addr base, u64 bytes) const
+{
+    u32 n = 0;
+    for (Addr a = base; a < base + bytes; a += cfg.lineBytes)
+        if (probe(a))
+            ++n;
+    return n;
+}
+
+u64
+SetAssocCache::numValidLines() const
+{
+    u64 n = 0;
+    for (const auto &line : lines)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    nHits = 0;
+    nMisses = 0;
+    nEvictions = 0;
+    nDirtyEvictions = 0;
+}
+
+void
+SetAssocCache::collectStats(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".hits", double(nHits));
+    out.add(prefix + ".misses", double(nMisses));
+    out.add(prefix + ".evictions", double(nEvictions));
+    out.add(prefix + ".dirtyEvictions", double(nDirtyEvictions));
+}
+
+} // namespace h2::cache

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Generic set-associative tag store.
+ *
+ * Used for the SRAM hierarchy (L1/L2/LLC) and as the tag structure of
+ * several DRAM-cache baselines. Purely functional+statistical: it tracks
+ * presence/dirtiness, not data values.
+ */
+
+#ifndef H2_CACHE_SET_ASSOC_CACHE_H
+#define H2_CACHE_SET_ASSOC_CACHE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace h2::cache {
+
+/** Geometry and policy of a SetAssocCache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    u64 sizeBytes = 0;
+    u32 ways = 1;
+    u32 lineBytes = 64;
+    ReplPolicy repl = ReplPolicy::Lru;
+};
+
+/** A line evicted by an insertion. */
+struct Eviction
+{
+    Addr addr = 0;   ///< base address of the victim line
+    bool dirty = false;
+};
+
+/** Set-associative, write-back, write-allocate tag store. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &params);
+
+    /**
+     * Look up @p addr; on hit, refresh replacement state and apply the
+     * dirty bit for writes.
+     * @return true on hit.
+     */
+    bool access(Addr addr, AccessType type);
+
+    /** Look up without disturbing replacement state or stats. */
+    bool probe(Addr addr) const;
+
+    /** True if present and dirty. */
+    bool probeDirty(Addr addr) const;
+
+    /**
+     * Insert the line containing @p addr (it must not be present).
+     * @return the evicted line, if any valid line had to make room.
+     */
+    std::optional<Eviction> insert(Addr addr, bool dirty);
+
+    /** Remove the line containing @p addr if present.
+     *  @return the removed line's dirtiness. */
+    std::optional<bool> invalidate(Addr addr);
+
+    /** Mark the line containing @p addr dirty; it must be present. */
+    void setDirty(Addr addr);
+
+    /** Number of valid lines whose addresses fall in
+     *  [@p base, @p base + @p bytes). */
+    u32 residentLinesInRange(Addr base, u64 bytes) const;
+
+    const CacheParams &params() const { return cfg; }
+    u32 numSets() const { return sets; }
+    u64 numValidLines() const;
+
+    u64 hits() const { return nHits; }
+    u64 misses() const { return nMisses; }
+    u64 evictions() const { return nEvictions; }
+    u64 dirtyEvictions() const { return nDirtyEvictions; }
+
+    /** Zero the counters (contents are kept; used after warm-up). */
+    void resetStats();
+
+    void collectStats(StatSet &out, const std::string &prefix) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 stamp = 0;
+    };
+
+    u64 blockIndex(Addr addr) const { return addr / cfg.lineBytes; }
+    u32 setIndex(u64 block) const { return static_cast<u32>(block % sets); }
+    u64 tagOf(u64 block) const { return block / sets; }
+    Addr lineAddr(u32 set, u64 tag) const
+    {
+        return (tag * sets + set) * u64(cfg.lineBytes);
+    }
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    CacheParams cfg;
+    u32 sets;
+    std::vector<Line> lines; ///< sets * ways, way-major within a set
+    u64 clock = 0;           ///< recency stamp source
+    u64 nHits = 0;
+    u64 nMisses = 0;
+    u64 nEvictions = 0;
+    u64 nDirtyEvictions = 0;
+};
+
+} // namespace h2::cache
+
+#endif // H2_CACHE_SET_ASSOC_CACHE_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 spirit.
+ *
+ * panic()  - an internal simulator invariant broke (a bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is approximated; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef H2_COMMON_LOG_H
+#define H2_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace h2 {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+} // namespace h2
+
+#define h2_panic(...) \
+    ::h2::detail::panicImpl(__FILE__, __LINE__, \
+                            ::h2::detail::concat(__VA_ARGS__))
+#define h2_fatal(...) \
+    ::h2::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::h2::detail::concat(__VA_ARGS__))
+#define h2_warn(...) \
+    ::h2::detail::warnImpl(::h2::detail::concat(__VA_ARGS__))
+#define h2_inform(...) \
+    ::h2::detail::informImpl(::h2::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG; use for simulator correctness. */
+#define h2_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            h2_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+    } while (0)
+
+#endif // H2_COMMON_LOG_H

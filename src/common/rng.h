@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator (workload generation, page placement)
+ * flows through these generators so runs are reproducible from a seed.
+ */
+
+#ifndef H2_COMMON_RNG_H
+#define H2_COMMON_RNG_H
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace h2 {
+
+/** SplitMix64 hash step; also used to derive sub-seeds. */
+constexpr u64
+splitmix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for workload
+ * synthesis; seeded via SplitMix64 per Blackman/Vigna's recommendation.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 1)
+    {
+        u64 x = seed;
+        for (auto &word : s)
+            word = splitmix64(x++);
+    }
+
+    /** Uniform 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(s[1] * 5, 7) * 9;
+        const u64 t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    u64
+    below(u64 bound)
+    {
+        h2_assert(bound != 0, "Rng::below(0)");
+        // Lemire-style multiply-shift; the tiny modulo bias is irrelevant
+        // for workload synthesis.
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 s[4];
+};
+
+/**
+ * A bijective pseudo-random permutation over [0, size), built from a
+ * 4-round Feistel network over a power-of-two domain with cycle-walking.
+ *
+ * Used for OS-page placement: virtual pages land on physical pages
+ * "randomly, proportionally to capacity" (paper section 4) while remaining
+ * collision-free, which the data-integrity property tests rely on.
+ */
+class RandomPermutation
+{
+  public:
+    RandomPermutation(u64 size, u64 seed)
+        : domain(size)
+    {
+        h2_assert(size > 0, "empty permutation domain");
+        u32 bits = floorLog2(size);
+        if ((u64(1) << bits) < size)
+            ++bits;
+        if (bits < 2)
+            bits = 2;
+        halfBits = (bits + 1) / 2;
+        halfMask = (u64(1) << halfBits) - 1;
+        for (int r = 0; r < rounds; ++r)
+            keys[r] = splitmix64(seed + 0x517cc1b727220a95ULL * (r + 1));
+    }
+
+    /** Map @p index to its permuted image (a bijection on [0, size)). */
+    u64
+    map(u64 index) const
+    {
+        h2_assert(index < domain, "permutation index out of range");
+        u64 v = index;
+        do {
+            v = feistel(v);
+        } while (v >= domain); // cycle-walk back into the domain
+        return v;
+    }
+
+    u64 size() const { return domain; }
+
+  private:
+    u64
+    feistel(u64 v) const
+    {
+        u64 left = v >> halfBits;
+        u64 right = v & halfMask;
+        for (int r = 0; r < rounds; ++r) {
+            u64 f = splitmix64(right ^ keys[r]) & halfMask;
+            u64 newRight = left ^ f;
+            left = right;
+            right = newRight;
+        }
+        return (left << halfBits) | right;
+    }
+
+    static constexpr int rounds = 4;
+    u64 domain;
+    u32 halfBits;
+    u64 halfMask;
+    u64 keys[rounds];
+};
+
+} // namespace h2
+
+#endif // H2_COMMON_RNG_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Hybrid2 simulator.
+ */
+
+#ifndef H2_COMMON_TYPES_H
+#define H2_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace h2 {
+
+/** Byte address in a (virtual or physical) address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Simulation time in picoseconds.
+ *
+ * Picoseconds keep every clock domain in the evaluated system (3.2 GHz
+ * cores, 2 GHz HBM2, 1.6 GHz DDR4-3200 command clock) on an integer grid.
+ */
+using Tick = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s64 = std::int64_t;
+
+/** Identifier of a simulated core. */
+using CoreId = u32;
+
+/** Direction of a memory operation. */
+enum class AccessType : u8 { Read, Write };
+
+/** A tick value that compares later than any reachable simulation time. */
+inline constexpr Tick maxTick = ~Tick(0);
+
+/** Integer ceiling division. */
+constexpr u64
+ceilDiv(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True iff @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; @p v must be non-zero. */
+constexpr u32
+floorLog2(u64 v)
+{
+    u32 r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+} // namespace h2
+
+#endif // H2_COMMON_TYPES_H

@@ -1,0 +1,44 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace h2 {
+
+std::string
+formatBytes(u64 bytes)
+{
+    char buf[32];
+    if (bytes >= GiB && bytes % GiB == 0)
+        std::snprintf(buf, sizeof(buf), "%lluGiB",
+                      (unsigned long long)(bytes / GiB));
+    else if (bytes >= GiB)
+        std::snprintf(buf, sizeof(buf), "%.2fGiB", (double)bytes / GiB);
+    else if (bytes >= MiB && bytes % MiB == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMiB",
+                      (unsigned long long)(bytes / MiB));
+    else if (bytes >= MiB)
+        std::snprintf(buf, sizeof(buf), "%.2fMiB", (double)bytes / MiB);
+    else if (bytes >= KiB)
+        std::snprintf(buf, sizeof(buf), "%lluKiB",
+                      (unsigned long long)(bytes / KiB));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB", (unsigned long long)bytes);
+    return buf;
+}
+
+std::string
+formatTime(Tick ps)
+{
+    char buf[32];
+    if (ps >= psPerMs)
+        std::snprintf(buf, sizeof(buf), "%.2fms", (double)ps / psPerMs);
+    else if (ps >= psPerUs)
+        std::snprintf(buf, sizeof(buf), "%.2fus", (double)ps / psPerUs);
+    else if (ps >= psPerNs)
+        std::snprintf(buf, sizeof(buf), "%.2fns", (double)ps / psPerNs);
+    else
+        std::snprintf(buf, sizeof(buf), "%llups", (unsigned long long)ps);
+    return buf;
+}
+
+} // namespace h2

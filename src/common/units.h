@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Size/time unit helpers and human-readable formatting.
+ */
+
+#ifndef H2_COMMON_UNITS_H
+#define H2_COMMON_UNITS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace h2 {
+
+inline constexpr u64 KiB = 1024;
+inline constexpr u64 MiB = 1024 * KiB;
+inline constexpr u64 GiB = 1024 * MiB;
+
+/** Picoseconds per common engineering time units. */
+inline constexpr Tick psPerNs = 1000;
+inline constexpr Tick psPerUs = 1000 * psPerNs;
+inline constexpr Tick psPerMs = 1000 * psPerUs;
+
+namespace literals {
+
+constexpr u64 operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr u64 operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr u64 operator""_GiB(unsigned long long v) { return v * GiB; }
+
+} // namespace literals
+
+/** Format a byte count as e.g. "64KiB", "1.5GiB". */
+std::string formatBytes(u64 bytes);
+
+/** Format a tick count (picoseconds) as e.g. "3.50ns", "50.0us". */
+std::string formatTime(Tick ps);
+
+} // namespace h2
+
+#endif // H2_COMMON_UNITS_H

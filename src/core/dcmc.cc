@@ -1,0 +1,468 @@
+#include "core/dcmc.h"
+
+#include <unordered_set>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace h2::core {
+
+namespace {
+
+/** Carve the NM into metadata / lined regions and size the flat space. */
+struct Layout
+{
+    u64 metaSectors;
+    u64 nmLocs;
+    u64 cacheSectors;
+    u64 nmFlatSectors;
+    u64 fmSectors;
+};
+
+Layout
+computeLayout(const mem::MemSystemParams &sys, const Hybrid2Params &cfg)
+{
+    h2_assert(isPowerOf2(cfg.sectorBytes) && isPowerOf2(cfg.lineBytes),
+              "sector/line sizes must be powers of two");
+    h2_assert(cfg.lineBytes >= mem::llcLineBytes &&
+              cfg.lineBytes <= cfg.sectorBytes,
+              "line size must be in [64, sectorBytes]");
+    Layout l;
+    u64 nmSectors = sys.nmBytes / cfg.sectorBytes;
+    l.metaSectors = ceilDiv(
+        static_cast<u64>(nmSectors * cfg.metadataFraction), 1);
+    l.nmLocs = nmSectors - l.metaSectors;
+    l.cacheSectors = cfg.cacheBytes / cfg.sectorBytes;
+    h2_assert(l.cacheSectors % cfg.ways == 0,
+              "cache sectors not divisible by XTA ways");
+    h2_assert(l.cacheSectors < l.nmLocs,
+              "DRAM cache larger than the lined NM region");
+    l.nmFlatSectors = l.nmLocs - l.cacheSectors;
+    l.fmSectors = sys.fmBytes / cfg.sectorBytes;
+    return l;
+}
+
+} // namespace
+
+Dcmc::Dcmc(const mem::MemSystemParams &sysParams, const Hybrid2Params &params)
+    : mem::HybridMemory(sysParams,
+                        dram::DramParams::hbm2(sysParams.nmBytes),
+                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+      cfg(params),
+      metaSectors(computeLayout(sysParams, params).metaSectors),
+      nmLocs(computeLayout(sysParams, params).nmLocs),
+      cacheSectors(computeLayout(sysParams, params).cacheSectors),
+      nmFlatSectors(computeLayout(sysParams, params).nmFlatSectors),
+      fmSectors(computeLayout(sysParams, params).fmSectors),
+      tags(cacheSectors, params.ways, params.linesPerSector()),
+      remap(nmFlatSectors + fmSectors, nmFlatSectors, cacheSectors,
+            fmSectors),
+      alloc(nmLocs, cacheSectors),
+      freeFm(),
+      migrPolicy(params.counterMax, params.budgetResetPs)
+{
+}
+
+u64
+Dcmc::flatCapacity() const
+{
+    return remap.flatSectors() * u64(cfg.sectorBytes);
+}
+
+Addr
+Dcmc::nmByteAddr(u64 nmLoc, u64 offset) const
+{
+    h2_assert(nmLoc < nmLocs && offset < cfg.sectorBytes,
+              "bad NM location/offset");
+    return (metaSectors + nmLoc) * u64(cfg.sectorBytes) + offset;
+}
+
+Addr
+Dcmc::fmByteAddr(u64 fmLoc, u64 offset) const
+{
+    h2_assert(fmLoc < fmSectors && offset < cfg.sectorBytes,
+              "bad FM location/offset");
+    return fmLoc * u64(cfg.sectorBytes) + offset;
+}
+
+Tick
+Dcmc::metaAccess(AccessType type, Tick at)
+{
+    if (cfg.freeRemap) {
+        ++nMetaSkipped;
+        return at;
+    }
+    u64 metaBytesTotal = metaSectors * u64(cfg.sectorBytes);
+    if (metaBytesTotal == 0) {
+        ++nMetaSkipped;
+        return at;
+    }
+    // Spread table entries over the metadata region so metadata accesses
+    // exercise all NM channels/banks like a real table layout would.
+    Addr addr = (splitmix64(metaRotor++) * 64) % metaBytesTotal;
+    addr &= ~Addr(63);
+    Tick done = nm->access(addr, 64, type, at);
+    bytes.nmMeta += 64;
+    if (type == AccessType::Read)
+        ++nMetaReads;
+    else
+        ++nMetaWrites;
+    return done;
+}
+
+void
+Dcmc::drainStackTraffic(Tick at)
+{
+    for (u64 n = freeFm.takeNmSpills(); n > 0; --n)
+        metaAccess(AccessType::Write, at);
+    for (u64 n = freeFm.takeNmFills(); n > 0; --n)
+        metaAccess(AccessType::Read, at);
+}
+
+u64
+Dcmc::allocateNmLoc(Tick now)
+{
+    if (!alloc.poolEmpty())
+        return alloc.popPool();
+
+    // Figure 8: FIFO scan for a flat victim, swap it out to a free FM
+    // location, and hand its NM location to the cache.
+    u64 victimLoc = alloc.findVictim(
+        [&](u64 loc) { // pinned: sector has a live XTA entry
+            auto flat = remap.invLookup(loc);
+            return flat && tags.contains(*flat);
+        },
+        [&](u64) { // each probe reads the inverted remap table
+            metaAccess(AccessType::Read, now);
+        });
+    auto victimFlat = remap.invLookup(victimLoc);
+    h2_assert(victimFlat, "victim scan returned an empty location");
+
+    u64 fmLoc = freeFm.pop();
+    drainStackTraffic(now);
+
+    if (sectorUnused(*victimFlat)) {
+        // Section 3.8: the OS marked the victim unused, so its data
+        // need not survive the move - skip the copy entirely.
+        ++nFreeSwapOuts;
+    } else {
+        // Copy the whole victim sector NM -> FM.
+        nm->access(nmByteAddr(victimLoc, 0), cfg.sectorBytes,
+                   AccessType::Read, now);
+        fm->access(fmByteAddr(fmLoc, 0), cfg.sectorBytes,
+                   AccessType::Write, now);
+        bytes.nmSwap += cfg.sectorBytes;
+        bytes.fmSwap += cfg.sectorBytes;
+    }
+
+    remap.update(*victimFlat, Loc{false, fmLoc});
+    metaAccess(AccessType::Write, now);
+    remap.invUpdate(victimLoc, std::nullopt);
+    metaAccess(AccessType::Write, now);
+
+    alloc.setOwner(victimLoc, NmAllocator::Owner::CacheData);
+    ++nSwapOuts;
+    return victimLoc;
+}
+
+void
+Dcmc::migrateSector(u64 victimFlat, XtaEntry &victim, Tick now)
+{
+    // Fetch the lines not yet present in NM.
+    u32 lps = cfg.linesPerSector();
+    for (u32 i = 0; i < lps; ++i) {
+        if (victim.validMask & (u64(1) << i))
+            continue;
+        u64 off = u64(i) * cfg.lineBytes;
+        fm->access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
+                   AccessType::Read, now);
+        nm->access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
+                   AccessType::Write, now);
+        bytes.fmMigration += cfg.lineBytes;
+        bytes.nmMigration += cfg.lineBytes;
+    }
+    // The sector's home is now its NM location; its FM slot frees up.
+    remap.update(victimFlat, Loc{true, victim.nmLoc});
+    metaAccess(AccessType::Write, now);
+    // The inverted remap table was already updated at fill time
+    // (section 3.4, case 2b).
+    freeFm.push(victim.fmLoc);
+    drainStackTraffic(now);
+    alloc.setOwner(victim.nmLoc, NmAllocator::Owner::Flat);
+    ++nMigrations;
+}
+
+void
+Dcmc::evictSectorToFm(u64 victimFlat, XtaEntry &victim, Tick now)
+{
+    // Write back dirty lines to the sector's FM home.
+    u32 lps = cfg.linesPerSector();
+    for (u32 i = 0; i < lps; ++i) {
+        if (!(victim.dirtyMask & (u64(1) << i)))
+            continue;
+        u64 off = u64(i) * cfg.lineBytes;
+        nm->access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
+                   AccessType::Read, now);
+        fm->access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
+                   AccessType::Write, now);
+        bytes.fmWriteback += cfg.lineBytes;
+    }
+    // The NM location returns to the cache pool; clear its occupant.
+    remap.invUpdate(victim.nmLoc, std::nullopt);
+    metaAccess(AccessType::Write, now);
+    alloc.pushPool(victim.nmLoc);
+    ++nEvictionsToFm;
+    (void)victimFlat;
+}
+
+void
+Dcmc::evictEntry(u64 victimFlat, XtaEntry &victim, Tick now)
+{
+    if (!victim.inFm) {
+        // Case 1 (section 3.6): the sector already lives in NM; simply
+        // release the way. No data moves, no metadata changes.
+        ++nReassignedNm;
+        return;
+    }
+    bool migrate;
+    if (cfg.migrateNone) {
+        migrate = false;
+    } else if (cfg.migrateAll) {
+        migrate = true;
+    } else {
+        MigrationVerdict verdict = migrPolicy.decide(tags, victimFlat,
+                                                     victim);
+        migrate = verdict == MigrationVerdict::Migrate;
+        if (verdict == MigrationVerdict::DeniedByCounter)
+            ++nDeniedByCounter;
+        else if (verdict == MigrationVerdict::DeniedByBudget)
+            ++nDeniedByBudget;
+    }
+    if (migrate)
+        migrateSector(victimFlat, victim, now);
+    else
+        evictSectorToFm(victimFlat, victim, now);
+}
+
+XtaEntry *
+Dcmc::prepareWay(u64 flatSector, Tick now)
+{
+    XtaEntry *way = tags.victimWay(flatSector);
+    if (way->valid) {
+        u64 victimFlat = tags.flatSectorOf(tags.setOf(flatSector), *way);
+        evictEntry(victimFlat, *way, now);
+        way->valid = false;
+    }
+    return way;
+}
+
+mem::MemResult
+Dcmc::access(Addr addr, AccessType type, Tick now)
+{
+    h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
+              "access beyond flat capacity: ", addr);
+    migrPolicy.advanceTo(now);
+
+    u64 flatSector = addr / cfg.sectorBytes;
+    u64 offsetInSector = addr % cfg.sectorBytes;
+    u32 lineIdx = static_cast<u32>(offsetInSector / cfg.lineBytes);
+    u64 lineBit = u64(1) << lineIdx;
+    u64 lineOff = u64(lineIdx) * cfg.lineBytes;
+
+    Tick reqStart = now + sys.controllerLatencyPs + cfg.xtaLatencyPs;
+    mem::MemResult result;
+
+    XtaEntry *entry = tags.find(flatSector);
+    if (entry) {
+        if (entry->inFm && entry->accessCounter < cfg.counterMax)
+            ++entry->accessCounter;
+
+        if (entry->validMask & lineBit) {
+            // 1a: the line is in NM.
+            ++nLineHits;
+            Tick done = nm->access(nmByteAddr(entry->nmLoc, offsetInSector),
+                                   mem::llcLineBytes, type, reqStart);
+            bytes.nmDemand += mem::llcLineBytes;
+            if (type == AccessType::Write)
+                entry->dirtyMask |= lineBit;
+            result = {done, true};
+        } else {
+            // 1b: sector tracked, line still in FM; fetch it.
+            ++nLineMisses;
+            h2_assert(entry->inFm, "line miss on an NM-resident sector");
+            migrPolicy.onDemandFmAccess();
+            Tick fetched = fm->access(fmByteAddr(entry->fmLoc, lineOff),
+                                      cfg.lineBytes, AccessType::Read,
+                                      reqStart);
+            nm->access(nmByteAddr(entry->nmLoc, lineOff), cfg.lineBytes,
+                       AccessType::Write, fetched);
+            bytes.fmDemand += cfg.lineBytes;
+            bytes.nmDemand += cfg.lineBytes;
+            entry->validMask |= lineBit;
+            if (type == AccessType::Write)
+                entry->dirtyMask |= lineBit;
+            result = {fetched, false};
+        }
+        recordService(result.fromNm);
+        return result;
+    }
+
+    // 2: XTA miss - consult the remap table for the sector's location.
+    Tick metaDone = metaAccess(AccessType::Read, reqStart);
+    Loc loc = remap.lookup(flatSector);
+
+    XtaEntry *way = prepareWay(flatSector, now);
+    tags.fill(flatSector, *way);
+
+    if (loc.inNm) {
+        // 2a: link the NM-resident sector; everything is already here.
+        ++nMissSectorNm;
+        way->inFm = false;
+        way->nmLoc = loc.idx;
+        way->fmLoc = 0;
+        way->validMask = (cfg.linesPerSector() == 64)
+            ? ~u64(0) : ((u64(1) << cfg.linesPerSector()) - 1);
+        way->dirtyMask = way->validMask; // paper's convention
+        Tick done = nm->access(nmByteAddr(loc.idx, offsetInSector),
+                               mem::llcLineBytes, type, metaDone);
+        bytes.nmDemand += mem::llcLineBytes;
+        result = {done, true};
+    } else {
+        // 2b: allocate NM space and fetch the requested line from FM.
+        ++nMissSectorFm;
+        u64 nmLoc = allocateNmLoc(now);
+        way->inFm = true;
+        way->nmLoc = nmLoc;
+        way->fmLoc = loc.idx;
+        way->validMask = lineBit;
+        way->dirtyMask = (type == AccessType::Write) ? lineBit : 0;
+        way->accessCounter = 1;
+        migrPolicy.onDemandFmAccess();
+        Tick fetched = fm->access(fmByteAddr(loc.idx, lineOff),
+                                  cfg.lineBytes, AccessType::Read,
+                                  metaDone);
+        nm->access(nmByteAddr(nmLoc, lineOff), cfg.lineBytes,
+                   AccessType::Write, fetched);
+        bytes.fmDemand += cfg.lineBytes;
+        bytes.nmDemand += cfg.lineBytes;
+        // Record the occupant in the inverted remap table now (even
+        // though the sector is not migrated) so the allocator's victim
+        // scan stays correct (section 3.4).
+        remap.invUpdate(nmLoc, flatSector);
+        metaAccess(AccessType::Write, fetched);
+        result = {fetched, false};
+    }
+    recordService(result.fromNm);
+    return result;
+}
+
+bool
+Dcmc::sectorUnused(u64 flatSector) const
+{
+    if (cfg.unusedSectorFraction <= 0.0)
+        return false;
+    // Deterministic pseudo-random marking, stable across the run (the
+    // OS would communicate this via ISA-Alloc/ISA-Free instructions).
+    double u = double(splitmix64(flatSector ^ 0x3323ad5cu) >> 11)
+        * 0x1.0p-53;
+    return u < cfg.unusedSectorFraction;
+}
+
+SectorView
+Dcmc::inspect(u64 flatSector) const
+{
+    SectorView view;
+    const XtaEntry *entry = tags.peek(flatSector);
+    if (entry) {
+        view.cached = true;
+        view.validMask = entry->validMask;
+        view.dirtyMask = entry->dirtyMask;
+        view.home = entry->inFm ? Loc{false, entry->fmLoc}
+                                : Loc{true, entry->nmLoc};
+    } else {
+        view.home = remap.lookup(flatSector);
+    }
+    return view;
+}
+
+void
+Dcmc::checkInvariants() const
+{
+    // Per-entry placement invariants and NM-location uniqueness.
+    u64 entriesInFm = 0;
+    std::unordered_set<u64> nmLocsSeen;
+    for (u64 set = 0; set < tags.numSets(); ++set) {
+        for (u32 w = 0; w < tags.numWays(); ++w) {
+            const XtaEntry &e = tags.entryAt(set, w);
+            if (!e.valid)
+                continue;
+            u64 flat = tags.flatSectorOf(set, e);
+            h2_assert(nmLocsSeen.insert(e.nmLoc).second,
+                      "two XTA entries share NM location ", e.nmLoc);
+            auto occupant = remap.invLookup(e.nmLoc);
+            h2_assert(occupant && *occupant == flat,
+                      "inverted remap disagrees with XTA for sector ",
+                      flat);
+            if (e.inFm) {
+                ++entriesInFm;
+                h2_assert(alloc.owner(e.nmLoc) ==
+                          NmAllocator::Owner::CacheData,
+                          "cached FM sector in a non-cache NM location");
+                Loc home = remap.lookup(flat);
+                h2_assert(!home.inNm && home.idx == e.fmLoc,
+                          "remap table disagrees with XTA FM pointer");
+                h2_assert(e.validMask != 0, "cached sector with no lines");
+            } else {
+                h2_assert(alloc.owner(e.nmLoc) == NmAllocator::Owner::Flat,
+                          "linked NM sector not owned by the flat space");
+                Loc home = remap.lookup(flat);
+                h2_assert(home.inNm && home.idx == e.nmLoc,
+                          "remap table disagrees with XTA NM pointer");
+            }
+            h2_assert((e.dirtyMask & ~e.validMask) == 0,
+                      "dirty line without a valid line");
+        }
+    }
+
+    // Conservation: pool + cache-held + free FM slots == cache size.
+    h2_assert(alloc.poolSize() + entriesInFm + freeFm.size() ==
+              cacheSectors,
+              "NM/FM location conservation violated: pool=",
+              alloc.poolSize(), " cacheData=", entriesInFm,
+              " stack=", freeFm.size(), " cacheSectors=", cacheSectors);
+    h2_assert(freeFm.size() == nMigrations - nSwapOuts,
+              "Free-FM-Stack depth diverged from migration/swap counts");
+    h2_assert(freeFm.size() <= cacheSectors,
+              "Free-FM-Stack exceeded its paper bound");
+}
+
+void
+Dcmc::collectStats(StatSet &out) const
+{
+    mem::HybridMemory::collectStats(out);
+    tags.collectStats(out, "dcmc.xta");
+    out.add("dcmc.lineHits", double(nLineHits));
+    out.add("dcmc.lineMisses", double(nLineMisses));
+    out.add("dcmc.missSectorNm", double(nMissSectorNm));
+    out.add("dcmc.missSectorFm", double(nMissSectorFm));
+    out.add("dcmc.migrations", double(nMigrations));
+    out.add("dcmc.evictionsToFm", double(nEvictionsToFm));
+    out.add("dcmc.reassignedNm", double(nReassignedNm));
+    out.add("dcmc.swapOuts", double(nSwapOuts));
+    out.add("dcmc.deniedByCounter", double(nDeniedByCounter));
+    out.add("dcmc.deniedByBudget", double(nDeniedByBudget));
+    out.add("dcmc.metaReads", double(nMetaReads));
+    out.add("dcmc.metaWrites", double(nMetaWrites));
+    out.add("dcmc.metaSkipped", double(nMetaSkipped));
+    out.add("dcmc.freeSwapOuts", double(nFreeSwapOuts));
+    out.add("dcmc.bytes.nmDemand", double(bytes.nmDemand));
+    out.add("dcmc.bytes.nmMeta", double(bytes.nmMeta));
+    out.add("dcmc.bytes.nmMigration", double(bytes.nmMigration));
+    out.add("dcmc.bytes.nmSwap", double(bytes.nmSwap));
+    out.add("dcmc.bytes.fmDemand", double(bytes.fmDemand));
+    out.add("dcmc.bytes.fmWriteback", double(bytes.fmWriteback));
+    out.add("dcmc.bytes.fmMigration", double(bytes.fmMigration));
+    out.add("dcmc.bytes.fmSwap", double(bytes.fmSwap));
+}
+
+} // namespace h2::core

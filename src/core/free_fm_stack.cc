@@ -1,0 +1,41 @@
+#include "core/free_fm_stack.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace h2::core {
+
+FreeFmStack::FreeFmStack(u32 onChipEntries, u32 entriesPerNmLine)
+    : window(onChipEntries), perLine(entriesPerNmLine)
+{
+    h2_assert(window > 0 && perLine > 0, "bad Free-FM-Stack shape");
+}
+
+void
+FreeFmStack::push(u64 fmLoc)
+{
+    stack.push_back(fmLoc);
+    // When the on-chip window overflows, one line's worth of the oldest
+    // buffered entries spills to the NM-resident stack.
+    if (stack.size() > window && stack.size() % perLine == 0) {
+        ++nmSpills;
+        ++lifetimeSpills;
+    }
+}
+
+u64
+FreeFmStack::pop()
+{
+    h2_assert(!stack.empty(), "pop from empty Free-FM-Stack");
+    u64 loc = stack.back();
+    stack.pop_back();
+    // Refill the on-chip window from NM when it drains below a line.
+    if (stack.size() >= window && stack.size() % perLine == 0) {
+        ++nmFills;
+        ++lifetimeFills;
+    }
+    return loc;
+}
+
+} // namespace h2::core

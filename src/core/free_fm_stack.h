@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Free-FM-Stack (paper sections 3.3 and 3.5).
+ *
+ * Tracks FM sector locations whose data has been migrated to NM and that
+ * can therefore be overwritten. The stack itself lives in NM; the stack
+ * pointer and a window of top entries are kept on-chip in the DCMC, so
+ * only pushes/pops that cross the on-chip window boundary touch NM. The
+ * stack depth is bounded by the number of sectors the DRAM cache holds.
+ */
+
+#ifndef H2_CORE_FREE_FM_STACK_H
+#define H2_CORE_FREE_FM_STACK_H
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2::core {
+
+class FreeFmStack
+{
+  public:
+    /**
+     * @param onChipEntries entries buffered in the DCMC (no NM traffic)
+     * @param entriesPerNmLine stack entries packed per 64 B NM line
+     */
+    explicit FreeFmStack(u32 onChipEntries = 64, u32 entriesPerNmLine = 16);
+
+    void push(u64 fmLoc);
+
+    /** Pop the most recent free FM location; stack must be non-empty. */
+    u64 pop();
+
+    bool empty() const { return stack.empty(); }
+    u64 size() const { return stack.size(); }
+
+    /** NM line transfers (spills/fills) implied by traffic so far. The
+     *  DCMC drains these counters into metadata accesses. */
+    u64 takeNmSpills() { return std::exchange(nmSpills, 0); }
+    u64 takeNmFills() { return std::exchange(nmFills, 0); }
+
+    u64 totalNmSpills() const { return lifetimeSpills; }
+    u64 totalNmFills() const { return lifetimeFills; }
+
+  private:
+    std::vector<u64> stack;
+    u32 window;
+    u32 perLine;
+    u64 nmSpills = 0;
+    u64 nmFills = 0;
+    u64 lifetimeSpills = 0;
+    u64 lifetimeFills = 0;
+};
+
+} // namespace h2::core
+
+#endif // H2_CORE_FREE_FM_STACK_H

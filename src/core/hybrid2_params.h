@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configuration of the Hybrid2 DRAM Cache Migration Controller (DCMC).
+ */
+
+#ifndef H2_CORE_HYBRID2_PARAMS_H
+#define H2_CORE_HYBRID2_PARAMS_H
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace h2::core {
+
+/**
+ * Tunables of Hybrid2 (paper sections 3 and 5.1). The defaults are the
+ * best configuration found by the paper's design-space exploration:
+ * 64 MB DRAM cache, 2 KB sectors, 256 B cache lines, 16-way XTA.
+ */
+struct Hybrid2Params
+{
+    u64 cacheBytes = 64 * MiB;  ///< NM slice used as DRAM-cache data array
+    u32 sectorBytes = 2048;     ///< migration/tag granularity
+    u32 lineBytes = 256;        ///< DRAM-cache line (fetch) granularity
+    u32 ways = 16;              ///< XTA associativity
+    u32 counterMax = 511;       ///< 9-bit per-sector access counter
+    /** On-chip XTA lookup latency added to every request (the array fits
+     *  on die; paper argues this is small). */
+    Tick xtaLatencyPs = 626;    ///< ~2 core cycles at 3.2 GHz
+    /** FM-access budget counter reset period (paper: 100K cycles). */
+    Tick budgetResetPs = 100000 * 313;
+    /** Fraction of NM reserved for the remap structures (paper: 3.5%). */
+    double metadataFraction = 0.035;
+
+    // --- Ablation switches (Figure 14) -------------------------------
+    /** Migrate every FM sector evicted from the DRAM cache (Migr-All). */
+    bool migrateAll = false;
+    /** Never migrate (Migr-None). */
+    bool migrateNone = false;
+    /** Remap/inverted-remap/stack accesses are free: no NM traffic and
+     *  no latency (No-Remap; also part of Cache-Only). */
+    bool freeRemap = false;
+
+    // --- Section 3.8 extension ----------------------------------------
+    /**
+     * "Using more free space": fraction of flat sectors the OS marks as
+     * unused (Chameleon-style ISA-Alloc/ISA-Free hints). Swapping an
+     * unused victim out of NM skips the sector copy - only the remap
+     * tables change. 0 disables the extension (the paper's base design).
+     */
+    double unusedSectorFraction = 0.0;
+
+    /** Cache lines per sector. */
+    u32 linesPerSector() const { return sectorBytes / lineBytes; }
+};
+
+} // namespace h2::core
+
+#endif // H2_CORE_HYBRID2_PARAMS_H

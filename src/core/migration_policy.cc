@@ -1,0 +1,66 @@
+#include "core/migration_policy.h"
+
+#include "common/log.h"
+
+namespace h2::core {
+
+u32
+migrationNetCost(u32 linesPerSector, u32 numValid, u32 numDirty)
+{
+    h2_assert(numValid >= 1 && numValid <= linesPerSector,
+              "valid count out of range");
+    h2_assert(numDirty <= numValid, "more dirty than valid lines");
+    u32 netCost = 2 * linesPerSector - numValid - numDirty + 1;
+    h2_assert(netCost >= 1 && netCost <= 2 * linesPerSector,
+              "net cost out of paper-guaranteed range");
+    return netCost;
+}
+
+MigrationPolicy::MigrationPolicy(u32 counterMaxValue, Tick budgetResetPs)
+    : counterMax(counterMaxValue), resetPeriod(budgetResetPs),
+      nextReset(budgetResetPs)
+{
+    h2_assert(counterMax > 0 && resetPeriod > 0, "bad policy parameters");
+}
+
+void
+MigrationPolicy::advanceTo(Tick now)
+{
+    while (now >= nextReset) {
+        fmAccessCounter = 0;
+        nextReset += resetPeriod;
+    }
+}
+
+MigrationVerdict
+MigrationPolicy::decide(const Xta &xta, u64 flatSector,
+                        const XtaEntry &victim)
+{
+    h2_assert(victim.inFm, "migration decision for an NM-resident sector");
+
+    // (i) Access counter vs. the rest of the set. Only FM sectors
+    // compete (NM sectors never increment), and saturated competitors
+    // are ignored to avoid starvation from long-resident sectors.
+    bool counterWins = true;
+    xta.forOthersInSet(flatSector, victim, [&](const XtaEntry &other) {
+        if (!other.inFm)
+            return;
+        if (other.accessCounter >= counterMax)
+            return;
+        if (other.accessCounter > victim.accessCounter)
+            counterWins = false;
+    });
+    if (!counterWins)
+        return MigrationVerdict::DeniedByCounter;
+
+    // (ii)+(iii) Net cost against the FM-access budget.
+    u32 netCost = migrationNetCost(xta.linesPerSector(),
+                                   victim.popcountValid(),
+                                   victim.popcountDirty());
+    if (netCost >= fmAccessCounter)
+        return MigrationVerdict::DeniedByBudget;
+    fmAccessCounter -= netCost;
+    return MigrationVerdict::Migrate;
+}
+
+} // namespace h2::core

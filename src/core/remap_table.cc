@@ -1,0 +1,61 @@
+#include "core/remap_table.h"
+
+#include "common/log.h"
+
+namespace h2::core {
+
+RemapTable::RemapTable(u64 flatSectors, u64 nmFlatSectors, u64 cacheSectors,
+                       u64 fmSectors)
+    : nFlat(flatSectors), nNmFlat(nmFlatSectors), nCache(cacheSectors),
+      nFm(fmSectors)
+{
+    h2_assert(nFlat == nNmFlat + nFm,
+              "flat space must be NM flat region + FM");
+}
+
+Loc
+RemapTable::lookup(u64 flatSector) const
+{
+    h2_assert(flatSector < nFlat, "remap lookup out of range: ", flatSector);
+    auto it = remapOverride.find(flatSector);
+    if (it != remapOverride.end())
+        return it->second;
+    if (flatSector < nNmFlat)
+        return Loc{true, nCache + flatSector};
+    return Loc{false, flatSector - nNmFlat};
+}
+
+void
+RemapTable::update(u64 flatSector, Loc loc)
+{
+    h2_assert(flatSector < nFlat, "remap update out of range");
+    if (loc.inNm)
+        h2_assert(loc.idx >= 0 && loc.idx < nCache + nNmFlat,
+                  "remap to bad NM location ", loc.idx);
+    else
+        h2_assert(loc.idx < nFm, "remap to bad FM location ", loc.idx);
+    remapOverride[flatSector] = loc;
+}
+
+std::optional<u64>
+RemapTable::invLookup(u64 nmLoc) const
+{
+    h2_assert(nmLoc < nCache + nNmFlat, "invLookup out of range: ", nmLoc);
+    auto it = invOverride.find(nmLoc);
+    if (it != invOverride.end())
+        return it->second;
+    if (nmLoc >= nCache)
+        return nmLoc - nCache;
+    return std::nullopt;
+}
+
+void
+RemapTable::invUpdate(u64 nmLoc, std::optional<u64> flatSector)
+{
+    h2_assert(nmLoc < nCache + nNmFlat, "invUpdate out of range");
+    if (flatSector)
+        h2_assert(*flatSector < nFlat, "invUpdate to bad flat sector");
+    invOverride[nmLoc] = flatSector;
+}
+
+} // namespace h2::core

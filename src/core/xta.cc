@@ -1,0 +1,92 @@
+#include "core/xta.h"
+
+#include "common/log.h"
+
+namespace h2::core {
+
+Xta::Xta(u64 numSectors, u32 ways, u32 linesPerSector)
+    : waysN(ways), lps(linesPerSector)
+{
+    h2_assert(ways > 0 && numSectors >= ways,
+              "XTA needs at least one full set");
+    h2_assert(numSectors % ways == 0, "XTA sectors not divisible by ways");
+    h2_assert(linesPerSector >= 1 && linesPerSector <= 64,
+              "valid/dirty vectors support 1..64 lines per sector, got ",
+              linesPerSector);
+    sets = numSectors / ways;
+    entries.resize(numSectors);
+}
+
+XtaEntry *
+Xta::find(u64 flatSector)
+{
+    u64 set = setOf(flatSector);
+    u64 tag = tagOf(flatSector);
+    XtaEntry *base = &entries[set * waysN];
+    for (u32 w = 0; w < waysN; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            ++nHits;
+            base[w].lruStamp = ++clock;
+            return &base[w];
+        }
+    }
+    ++nMisses;
+    return nullptr;
+}
+
+const XtaEntry *
+Xta::peek(u64 flatSector) const
+{
+    u64 set = setOf(flatSector);
+    u64 tag = tagOf(flatSector);
+    const XtaEntry *base = &entries[set * waysN];
+    for (u32 w = 0; w < waysN; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+XtaEntry *
+Xta::victimWay(u64 flatSector)
+{
+    u64 set = setOf(flatSector);
+    XtaEntry *base = &entries[set * waysN];
+    XtaEntry *victim = &base[0];
+    for (u32 w = 0; w < waysN; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+void
+Xta::fill(u64 flatSector, XtaEntry &entry)
+{
+    entry.valid = true;
+    entry.tag = tagOf(flatSector);
+    entry.validMask = 0;
+    entry.dirtyMask = 0;
+    entry.accessCounter = 0;
+    entry.lruStamp = ++clock;
+}
+
+u64
+Xta::storageBytes() const
+{
+    // Per entry: tag (~4 B), valid+dirty vectors (2 * lps bits),
+    // 9-bit counter, two pointers (~4 B each), LRU (~1 B).
+    u64 bitsPerEntry = 32 + 2 * lps + 9 + 2 * 32 + 8;
+    return ceilDiv(entries.size() * bitsPerEntry, 8);
+}
+
+void
+Xta::collectStats(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".hits", double(nHits));
+    out.add(prefix + ".misses", double(nMisses));
+    out.add(prefix + ".storageBytes", double(storageBytes()));
+}
+
+} // namespace h2::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The eXtended Tag Array (paper section 3.2).
+ *
+ * An on-chip, set-associative tag array for the sectored DRAM cache,
+ * extended with the fields that unify cache and migration metadata:
+ * per-line valid/dirty vectors, a per-sector access counter, and NM/FM
+ * location pointers. The NM pointer decouples an XTA way from the
+ * physical NM location of its data (indirection), which is what lets
+ * Hybrid2 promote a cached sector to a migrated one without copying.
+ */
+
+#ifndef H2_CORE_XTA_H
+#define H2_CORE_XTA_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace h2::core {
+
+/** One XTA entry (Figure 4 of the paper). */
+struct XtaEntry
+{
+    bool valid = false;
+    u64 tag = 0;          ///< flatSector / numSets
+    u64 validMask = 0;    ///< per-line presence in NM
+    u64 dirtyMask = 0;    ///< per-line dirtiness
+    u32 accessCounter = 0;
+    u64 nmLoc = 0;        ///< NM location of the sector's data
+    u64 fmLoc = 0;        ///< FM home while the sector lives in FM
+    bool inFm = false;    ///< true: FM sector (fmLoc valid); false: NM
+    u64 lruStamp = 0;
+
+    u32 popcountValid() const { return __builtin_popcountll(validMask); }
+    u32 popcountDirty() const { return __builtin_popcountll(dirtyMask); }
+};
+
+/** Set-associative XTA with LRU replacement. */
+class Xta
+{
+  public:
+    /**
+     * @param numSectors total entries (DRAM-cache capacity in sectors)
+     * @param ways       associativity
+     * @param linesPerSector lines tracked by each valid/dirty vector
+     */
+    Xta(u64 numSectors, u32 ways, u32 linesPerSector);
+
+    u64 numSets() const { return sets; }
+    u32 numWays() const { return waysN; }
+    u64 capacitySectors() const { return sets * waysN; }
+    u32 linesPerSector() const { return lps; }
+
+    u64 setOf(u64 flatSector) const { return flatSector % sets; }
+    u64 tagOf(u64 flatSector) const { return flatSector / sets; }
+    u64
+    flatSectorOf(u64 set, const XtaEntry &e) const
+    {
+        return e.tag * sets + set;
+    }
+
+    /** Find the entry for @p flatSector; refreshes LRU on hit. */
+    XtaEntry *find(u64 flatSector);
+
+    /** Lookup without touching LRU or stats (allocator victim scan). */
+    const XtaEntry *peek(u64 flatSector) const;
+    bool contains(u64 flatSector) const { return peek(flatSector); }
+
+    /**
+     * Pick the way that a new entry for @p flatSector will occupy:
+     * an invalid way if one exists, otherwise the LRU way (whose current
+     * contents the caller must handle first).
+     */
+    XtaEntry *victimWay(u64 flatSector);
+
+    /** Initialize @p entry for @p flatSector and refresh LRU. */
+    void fill(u64 flatSector, XtaEntry &entry);
+
+    /** Direct entry access for invariant checks and tests. */
+    const XtaEntry &
+    entryAt(u64 set, u32 way) const
+    {
+        return entries[set * waysN + way];
+    }
+
+    /** Iterate the other valid entries of @p flatSector's set. */
+    template <typename Fn>
+    void
+    forOthersInSet(u64 flatSector, const XtaEntry &self, Fn &&fn) const
+    {
+        u64 set = setOf(flatSector);
+        const XtaEntry *base = &entries[set * waysN];
+        for (u32 w = 0; w < waysN; ++w)
+            if (base[w].valid && &base[w] != &self)
+                fn(base[w]);
+    }
+
+    /** Estimated on-chip SRAM footprint of the array in bytes
+     *  (paper: must stay under ~512 KB). */
+    u64 storageBytes() const;
+
+    u64 hits() const { return nHits; }
+    u64 misses() const { return nMisses; }
+
+    void collectStats(StatSet &out, const std::string &prefix) const;
+
+  private:
+    u64 sets;
+    u32 waysN;
+    u32 lps;
+    std::vector<XtaEntry> entries;
+    u64 clock = 0;
+    u64 nHits = 0;
+    u64 nMisses = 0;
+};
+
+} // namespace h2::core
+
+#endif // H2_CORE_XTA_H

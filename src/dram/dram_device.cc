@@ -1,0 +1,163 @@
+#include "dram/dram_device.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace h2::dram {
+
+DramDevice::DramDevice(const DramParams &params)
+    : cfg(params)
+{
+    h2_assert(cfg.channels > 0 && cfg.banksPerChannel > 0,
+              "DRAM geometry must be non-empty");
+    h2_assert(isPowerOf2(cfg.interleaveBytes),
+              "interleave must be a power of two");
+    channels.resize(cfg.channels);
+    for (auto &ch : channels)
+        ch.banks.resize(cfg.banksPerChannel);
+}
+
+void
+DramDevice::decode(Addr addr, u32 &channel, u64 &bank, u64 &row) const
+{
+    u64 chunk = addr / cfg.interleaveBytes;
+    channel = static_cast<u32>(chunk % cfg.channels);
+    // Address within this channel's own linear space.
+    u64 chAddr = (chunk / cfg.channels) * cfg.interleaveBytes
+        + (addr % cfg.interleaveBytes);
+    bank = (chAddr / cfg.rowBytes) % cfg.banksPerChannel;
+    row = chAddr / (u64(cfg.rowBytes) * cfg.banksPerChannel);
+}
+
+Tick
+DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
+{
+    u32 chIdx;
+    u64 bankIdx, row;
+    decode(addr, chIdx, bankIdx, row);
+    Channel &ch = channels[chIdx];
+    Bank &bank = ch.banks[bankIdx];
+
+    Tick start = std::max(now, bank.readyAt);
+    u32 latCycles;
+    if (bank.open && bank.row == row) {
+        latCycles = cfg.tCas;
+        ++counters.rowHits;
+    } else if (!bank.open) {
+        latCycles = cfg.tRcd + cfg.tCas;
+        ++counters.rowEmpty;
+        ++counters.activations;
+    } else {
+        latCycles = cfg.tRp + cfg.tRcd + cfg.tCas;
+        ++counters.rowMisses;
+        ++counters.activations;
+    }
+    bank.open = true;
+    bank.row = row;
+
+    Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
+    Tick dataStart = std::max(cmdDone, ch.busUntil);
+    // Double data rate: two beats of busBytes per clock.
+    Tick burst = ceilDiv(bytes, u64(cfg.busBytes) * 2) * cfg.clockPs;
+    Tick dataEnd = dataStart + burst;
+    ch.busUntil = dataEnd;
+    ch.busyAccum += burst;
+    bank.readyAt = dataEnd;
+
+    if (type == AccessType::Read) {
+        ++counters.reads;
+        counters.bytesRead += bytes;
+    } else {
+        ++counters.writes;
+        counters.bytesWritten += bytes;
+    }
+    return dataEnd;
+}
+
+Tick
+DramDevice::access(Addr addr, u32 bytes, AccessType type, Tick now)
+{
+    h2_assert(bytes > 0, "zero-byte DRAM access");
+    h2_assert(addr < cfg.capacityBytes && addr + bytes <= cfg.capacityBytes,
+              cfg.name, ": access beyond capacity, addr=", addr,
+              " bytes=", bytes);
+    Tick done = 0;
+    Addr cur = addr;
+    u64 remaining = bytes;
+    while (remaining > 0) {
+        u64 inChunk = cfg.interleaveBytes - (cur % cfg.interleaveBytes);
+        u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
+        done = std::max(done, accessChunk(cur, take, type, now));
+        cur += take;
+        remaining -= take;
+    }
+    return done;
+}
+
+Tick
+DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
+{
+    // A const copy of the mutable path on a scratch device would be
+    // heavyweight; instead recompute the first chunk's latency.
+    u32 chIdx;
+    u64 bankIdx, row;
+    decode(addr, chIdx, bankIdx, row);
+    const Channel &ch = channels[chIdx];
+    const Bank &bank = ch.banks[bankIdx];
+    Tick start = std::max(now, bank.readyAt);
+    u32 latCycles;
+    if (bank.open && bank.row == row)
+        latCycles = cfg.tCas;
+    else if (!bank.open)
+        latCycles = cfg.tRcd + cfg.tCas;
+    else
+        latCycles = cfg.tRp + cfg.tRcd + cfg.tCas;
+    Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
+    Tick dataStart = std::max(cmdDone, ch.busUntil);
+    Tick burst = ceilDiv(std::min<u64>(bytes, cfg.interleaveBytes),
+                         u64(cfg.busBytes) * 2) * cfg.clockPs;
+    return dataStart + burst - now;
+}
+
+double
+DramDevice::dynamicEnergyPj() const
+{
+    double bits = 8.0 * counters.totalBytes();
+    return bits * cfg.rdwrPjPerBit + counters.activations * cfg.actPreNj
+        * 1000.0;
+}
+
+double
+DramDevice::busUtilization(Tick now) const
+{
+    if (now == 0)
+        return 0.0;
+    Tick busy = 0;
+    for (const auto &ch : channels)
+        busy += ch.busyAccum;
+    return double(busy) / (double(now) * channels.size());
+}
+
+void
+DramDevice::resetStats()
+{
+    counters = DramStats{};
+    for (auto &ch : channels)
+        ch.busyAccum = 0;
+}
+
+void
+DramDevice::collectStats(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".reads", double(counters.reads));
+    out.add(prefix + ".writes", double(counters.writes));
+    out.add(prefix + ".bytesRead", double(counters.bytesRead));
+    out.add(prefix + ".bytesWritten", double(counters.bytesWritten));
+    out.add(prefix + ".rowHits", double(counters.rowHits));
+    out.add(prefix + ".rowMisses", double(counters.rowMisses));
+    out.add(prefix + ".activations", double(counters.activations));
+    out.add(prefix + ".dynamicEnergyPj", dynamicEnergyPj());
+}
+
+} // namespace h2::dram

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Analytic DRAM timing/energy model.
+ *
+ * Replaces DRAMSim2 from the paper's setup. Every access resolves to
+ * channel/bank/row; the model tracks open rows and per-bank/channel
+ * busy-until times, which yields row-hit/row-miss latencies, bank
+ * conflicts, and bandwidth contention (queueing behind earlier traffic)
+ * without a cycle-stepped event loop. Energy is accounted per access
+ * (pJ/bit moved) and per activation (ACT/PRE) with Table 1 constants.
+ */
+
+#ifndef H2_DRAM_DRAM_DEVICE_H
+#define H2_DRAM_DRAM_DEVICE_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram_params.h"
+
+namespace h2::dram {
+
+/** Aggregate traffic/energy counters of a DramDevice. */
+struct DramStats
+{
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 bytesRead = 0;
+    u64 bytesWritten = 0;
+    u64 rowHits = 0;
+    u64 rowMisses = 0;       ///< row open to a different row (PRE+ACT)
+    u64 rowEmpty = 0;        ///< bank closed (ACT only)
+    u64 activations = 0;
+
+    u64 totalBytes() const { return bytesRead + bytesWritten; }
+};
+
+/**
+ * One DRAM device: a group of channels sharing geometry and timing.
+ * Thread-compatible (no internal synchronization); the simulator is
+ * single-threaded per system.
+ */
+class DramDevice
+{
+  public:
+    explicit DramDevice(const DramParams &params);
+
+    /**
+     * Perform an access of @p bytes starting at device address @p addr
+     * at time @p now. Accesses wider than the channel interleave are
+     * split into chunks that proceed in parallel across channels.
+     *
+     * @return completion time of the last byte.
+     */
+    Tick access(Addr addr, u32 bytes, AccessType type, Tick now);
+
+    /** Latency the device would add for a @p bytes access at @p now,
+     *  without mutating any state (used for what-if probes in tests). */
+    Tick probeLatency(Addr addr, u32 bytes, Tick now) const;
+
+    const DramParams &params() const { return cfg; }
+    const DramStats &stats() const { return counters; }
+
+    /** Dynamic energy consumed so far, in picojoules. */
+    double dynamicEnergyPj() const;
+
+    /** Fraction of data-bus time used in [0, now]. */
+    double busUtilization(Tick now) const;
+
+    void resetStats();
+
+    /** Collect counters into @p out under the prefix @p prefix. */
+    void collectStats(StatSet &out, const std::string &prefix) const;
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        u64 row = 0;
+        Tick readyAt = 0;
+    };
+
+    struct Channel
+    {
+        Tick busUntil = 0;
+        Tick busyAccum = 0; ///< total data-bus occupancy, for utilization
+        std::vector<Bank> banks;
+    };
+
+    /** Resolve an address to channel index / in-channel address. */
+    void decode(Addr addr, u32 &channel, u64 &bank, u64 &row) const;
+
+    Tick accessChunk(Addr addr, u32 bytes, AccessType type, Tick now);
+
+    DramParams cfg;
+    std::vector<Channel> channels;
+    DramStats counters;
+};
+
+} // namespace h2::dram
+
+#endif // H2_DRAM_DRAM_DEVICE_H

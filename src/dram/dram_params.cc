@@ -1,0 +1,53 @@
+#include "dram/dram_params.h"
+
+namespace h2::dram {
+
+double
+DramParams::peakBandwidthBytesPerSec() const
+{
+    // DDR: two beats of busBytes per clock.
+    double bytesPerClock = 2.0 * busBytes * channels;
+    return bytesPerClock / (clockPs * 1e-12);
+}
+
+DramParams
+DramParams::hbm2(u64 capacityBytes)
+{
+    DramParams p;
+    p.name = "HBM2";
+    p.capacityBytes = capacityBytes;
+    p.channels = 8;
+    p.banksPerChannel = 8;
+    p.busBytes = 16;   // 128-bit
+    p.clockPs = 500;   // 2 GHz
+    p.tCas = 7;
+    p.tRcd = 7;
+    p.tRp = 7;
+    p.rowBytes = 2048;
+    p.interleaveBytes = 256;
+    p.rdwrPjPerBit = 6.4;
+    p.actPreNj = 15.0;
+    return p;
+}
+
+DramParams
+DramParams::ddr4_3200(u64 capacityBytes)
+{
+    DramParams p;
+    p.name = "DDR4-3200";
+    p.capacityBytes = capacityBytes;
+    p.channels = 2;
+    p.banksPerChannel = 8;
+    p.busBytes = 8;    // 64-bit
+    p.clockPs = 625;   // 1.6 GHz command clock, 3200 MT/s
+    p.tCas = 22;
+    p.tRcd = 22;
+    p.tRp = 22;
+    p.rowBytes = 8192;
+    p.interleaveBytes = 256;
+    p.rdwrPjPerBit = 33.0;
+    p.actPreNj = 15.0;
+    return p;
+}
+
+} // namespace h2::dram

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DRAM device timing/energy parameters with the paper's Table 1 presets.
+ */
+
+#ifndef H2_DRAM_DRAM_PARAMS_H
+#define H2_DRAM_DRAM_PARAMS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace h2::dram {
+
+/**
+ * Parameters of one DRAM device (a set of channels with identical
+ * geometry and timing). Timings are in device clock cycles; the clock
+ * period is in picoseconds. Data moves at double data rate (two beats of
+ * @c busBytes per clock).
+ */
+struct DramParams
+{
+    std::string name;
+    u64 capacityBytes = 0;
+    u32 channels = 1;
+    u32 banksPerChannel = 8;
+    u32 busBytes = 8;        ///< data bus width per channel, in bytes
+    Tick clockPs = 625;      ///< device clock period
+    u32 tCas = 22;           ///< column access latency (cycles)
+    u32 tRcd = 22;           ///< RAS-to-CAS delay (cycles)
+    u32 tRp = 22;            ///< row precharge (cycles)
+    u32 rowBytes = 2048;     ///< row-buffer size per bank
+    u32 interleaveBytes = 256; ///< channel interleave granularity
+    double rdwrPjPerBit = 33.0; ///< RD/WR + I/O energy, pJ/bit
+    double actPreNj = 15.0;  ///< activate+precharge energy, nJ per ACT
+
+    /** Peak bandwidth in bytes/second across all channels. */
+    double peakBandwidthBytesPerSec() const;
+
+    /**
+     * HBM2 near memory per Table 1: 2 GHz, 8 128-bit channels, 8 banks,
+     * 7-7-7, 6.4 pJ/bit RD/WR+I/O, 15 nJ ACT/PRE.
+     */
+    static DramParams hbm2(u64 capacityBytes);
+
+    /**
+     * DDR4-3200 far memory per Table 1: 2 64-bit channels, 8 banks,
+     * 22-22-22, 33 pJ/bit RD/WR+I/O, 15 nJ ACT/PRE.
+     */
+    static DramParams ddr4_3200(u64 capacityBytes);
+};
+
+} // namespace h2::dram
+
+#endif // H2_DRAM_DRAM_PARAMS_H

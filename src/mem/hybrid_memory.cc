@@ -1,0 +1,67 @@
+#include "mem/hybrid_memory.h"
+
+#include "common/log.h"
+
+namespace h2::mem {
+
+HybridMemory::HybridMemory(const MemSystemParams &params,
+                           const dram::DramParams &nmParams,
+                           const dram::DramParams &fmParams)
+    : sys(params),
+      nm(std::make_unique<dram::DramDevice>(nmParams)),
+      fm(std::make_unique<dram::DramDevice>(fmParams))
+{
+}
+
+HybridMemory::HybridMemory(const MemSystemParams &params,
+                           const dram::DramParams &fmParams)
+    : sys(params), nm(nullptr),
+      fm(std::make_unique<dram::DramDevice>(fmParams))
+{
+}
+
+dram::DramDevice &
+HybridMemory::nmDevice()
+{
+    h2_assert(nm, name(), " has no near memory");
+    return *nm;
+}
+
+const dram::DramDevice &
+HybridMemory::nmDevice() const
+{
+    h2_assert(nm, name(), " has no near memory");
+    return *nm;
+}
+
+double
+HybridMemory::dynamicEnergyPj() const
+{
+    double e = fm->dynamicEnergyPj();
+    if (nm)
+        e += nm->dynamicEnergyPj();
+    return e;
+}
+
+void
+HybridMemory::resetStats()
+{
+    nRequests = 0;
+    nFromNm = 0;
+    fm->resetStats();
+    if (nm)
+        nm->resetStats();
+}
+
+void
+HybridMemory::collectStats(StatSet &out) const
+{
+    out.add("mem.requests", double(nRequests));
+    out.add("mem.requestsFromNm", double(nFromNm));
+    out.add("mem.dynamicEnergyPj", dynamicEnergyPj());
+    fm->collectStats(out, "fm");
+    if (nm)
+        nm->collectStats(out, "nm");
+}
+
+} // namespace h2::mem

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Common interface of all evaluated memory organizations.
+ *
+ * The system under test (Hybrid2, the migration baselines, the DRAM-cache
+ * baselines, and the FM-only baseline) all sit behind this interface:
+ * they receive 64 B demand fills and writebacks from the LLC and own the
+ * NM/FM DRAM devices.
+ */
+
+#ifndef H2_MEM_HYBRID_MEMORY_H
+#define H2_MEM_HYBRID_MEMORY_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram_device.h"
+
+namespace h2::mem {
+
+/** View of the LLC offered to migration policies (LGM uses it). */
+class LlcView
+{
+  public:
+    virtual ~LlcView() = default;
+    /** Number of 64 B lines of [base, base+bytes) resident in the LLC. */
+    virtual u32 residentLines(Addr base, u64 bytes) const = 0;
+};
+
+/** Null LlcView: reports nothing resident. */
+class EmptyLlcView : public LlcView
+{
+  public:
+    u32 residentLines(Addr, u64) const override { return 0; }
+};
+
+/** Sizing and latency context shared by every design. */
+struct MemSystemParams
+{
+    u64 nmBytes = 1ull << 30;      ///< near-memory capacity
+    u64 fmBytes = 16ull << 30;     ///< far-memory capacity
+    Tick corePeriodPs = 313;       ///< 3.2 GHz core clock (rounded to ps)
+    /** Fixed controller/on-chip interconnect traversal per request. */
+    Tick controllerLatencyPs = 3130; ///< ~10 core cycles
+};
+
+/** Outcome of one 64 B request into the memory organization. */
+struct MemResult
+{
+    Tick completeAt = 0;  ///< when the critical 64 B block is available
+    bool fromNm = false;  ///< served by near memory
+};
+
+/**
+ * Base class: owns the DRAM devices and the served-from-NM accounting.
+ *
+ * Concrete designs implement access() and may add design-specific
+ * counters through collectStats().
+ */
+class HybridMemory
+{
+  public:
+    HybridMemory(const MemSystemParams &params,
+                 const dram::DramParams &nmParams,
+                 const dram::DramParams &fmParams);
+    /** FM-only construction (no near memory device). */
+    HybridMemory(const MemSystemParams &params,
+                 const dram::DramParams &fmParams);
+    virtual ~HybridMemory() = default;
+
+    HybridMemory(const HybridMemory &) = delete;
+    HybridMemory &operator=(const HybridMemory &) = delete;
+
+    /**
+     * Serve a 64 B line request (demand fill or LLC writeback) issued at
+     * @p now (picoseconds). @p addr is a flat processor physical address
+     * in [0, flatCapacity()).
+     */
+    virtual MemResult access(Addr addr, AccessType type, Tick now) = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Bytes of main memory visible to software under this design. */
+    virtual u64 flatCapacity() const = 0;
+
+    /** Design-internal consistency checks; panics on violation. */
+    virtual void checkInvariants() const {}
+
+    /** Counters for the bench/test harness. */
+    virtual void collectStats(StatSet &out) const;
+
+    /** Zero traffic/energy/service counters after warm-up. The design's
+     *  state (caches, remap tables) is kept. */
+    virtual void resetStats();
+
+    bool hasNm() const { return nm != nullptr; }
+    dram::DramDevice &nmDevice();
+    const dram::DramDevice &nmDevice() const;
+    dram::DramDevice &fmDevice() { return *fm; }
+    const dram::DramDevice &fmDevice() const { return *fm; }
+
+    u64 requests() const { return nRequests; }
+    u64 requestsFromNm() const { return nFromNm; }
+
+    /** Total dynamic DRAM energy (NM + FM), picojoules. */
+    double dynamicEnergyPj() const;
+
+  protected:
+    /** Record one served request for the NM-served statistic. */
+    void
+    recordService(bool fromNm)
+    {
+        ++nRequests;
+        if (fromNm)
+            ++nFromNm;
+    }
+
+    MemSystemParams sys;
+    std::unique_ptr<dram::DramDevice> nm; ///< null for the FM-only design
+    std::unique_ptr<dram::DramDevice> fm;
+
+  private:
+    u64 nRequests = 0;
+    u64 nFromNm = 0;
+};
+
+/** Request line size from the LLC. */
+inline constexpr u32 llcLineBytes = 64;
+
+} // namespace h2::mem
+
+#endif // H2_MEM_HYBRID_MEMORY_H

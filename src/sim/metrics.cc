@@ -1,0 +1,27 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace h2::sim {
+
+std::string
+Metrics::toString() const
+{
+    std::ostringstream os;
+    os << workload << " on " << design << ":\n"
+       << "  instructions : " << instructions << "\n"
+       << "  time         : " << formatTime(timePs)
+       << " (" << cycles << " cycles, IPC " << ipc << ")\n"
+       << "  LLC misses   : " << llcMisses << " (MPKI " << mpki << ")\n"
+       << "  mem requests : " << memRequests << " ("
+       << servedFromNm * 100.0 << "% from NM)\n"
+       << "  NM traffic   : " << formatBytes(nmTrafficBytes) << "\n"
+       << "  FM traffic   : " << formatBytes(fmTrafficBytes) << "\n"
+       << "  dyn. energy  : " << dynamicEnergyPj / 1e6 << " uJ\n"
+       << "  flat capacity: " << formatBytes(flatCapacityBytes) << "\n";
+    return os.str();
+}
+
+} // namespace h2::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Per-run metrics extracted for the paper's evaluation figures.
+ */
+
+#ifndef H2_SIM_METRICS_H
+#define H2_SIM_METRICS_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace h2::sim {
+
+struct Metrics
+{
+    std::string workload;
+    std::string design;
+
+    u64 instructions = 0;
+    Tick timePs = 0;
+    u64 cycles = 0;
+    double ipc = 0.0;
+
+    u64 memAccesses = 0;   ///< core-side loads+stores
+    u64 llcMisses = 0;
+    double mpki = 0.0;
+
+    u64 memRequests = 0;   ///< 64 B fills + writebacks at the controller
+    double servedFromNm = 0.0;
+
+    u64 nmTrafficBytes = 0;
+    u64 fmTrafficBytes = 0;
+    double dynamicEnergyPj = 0.0;
+
+    u64 flatCapacityBytes = 0;
+    u64 footprintBytes = 0;
+
+    StatSet detail;
+
+    std::string toString() const;
+};
+
+} // namespace h2::sim
+
+#endif // H2_SIM_METRICS_H

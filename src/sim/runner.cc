@@ -1,0 +1,172 @@
+#include "sim/runner.h"
+
+#include <sstream>
+#include <vector>
+
+#include "baselines/chameleon.h"
+#include "baselines/dfc_cache.h"
+#include "baselines/flat_baseline.h"
+#include "baselines/ideal_cache.h"
+#include "baselines/lgm.h"
+#include "baselines/mempod.h"
+#include "baselines/tagless_cache.h"
+#include "common/log.h"
+#include "common/units.h"
+#include "core/dcmc.h"
+
+namespace h2::sim {
+
+namespace {
+
+std::vector<std::string>
+splitOn(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, delim))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Parse "key=value" into (key, value); bare words get value "". */
+std::pair<std::string, std::string>
+keyValue(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos)
+        return {token, ""};
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+std::unique_ptr<mem::HybridMemory>
+makeHybrid2(const std::string &opts, const mem::MemSystemParams &memParams)
+{
+    core::Hybrid2Params p;
+    for (const auto &token : splitOn(opts, ',')) {
+        auto [key, value] = keyValue(token);
+        if (key == "cacheonly") {
+            p.migrateNone = true;
+            p.freeRemap = true;
+        } else if (key == "migrall") {
+            p.migrateAll = true;
+        } else if (key == "migrnone") {
+            p.migrateNone = true;
+        } else if (key == "noremap") {
+            p.freeRemap = true;
+        } else if (key == "cache") {
+            p.cacheBytes = std::stoull(value) * MiB;
+        } else if (key == "sector") {
+            p.sectorBytes = static_cast<u32>(std::stoul(value));
+        } else if (key == "line") {
+            p.lineBytes = static_cast<u32>(std::stoul(value));
+        } else if (key == "unused") {
+            // Section 3.8 extension: percentage of OS-unused sectors.
+            p.unusedSectorFraction = std::stod(value) / 100.0;
+        } else {
+            h2_fatal("unknown hybrid2 option: ", key);
+        }
+    }
+    return std::make_unique<core::Dcmc>(memParams, p);
+}
+
+} // namespace
+
+std::unique_ptr<mem::HybridMemory>
+makeDesign(const std::string &spec, const mem::MemSystemParams &memParams,
+           const mem::LlcView &llc)
+{
+    auto colon = spec.find(':');
+    std::string head = spec.substr(0, colon);
+    std::string opts =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+    if (head == "baseline")
+        return std::make_unique<baselines::FlatBaseline>(memParams);
+    if (head == "hybrid2")
+        return makeHybrid2(opts, memParams);
+    if (head == "ideal") {
+        baselines::DramCacheParams p;
+        p.lineBytes = opts.empty() ? 256 : std::stoul(opts);
+        return std::make_unique<baselines::IdealCache>(
+            memParams, p, "IDEAL-" + std::to_string(p.lineBytes));
+    }
+    if (head == "tagless")
+        return std::make_unique<baselines::TaglessCache>(memParams);
+    if (head == "dfc") {
+        u32 line = opts.empty() ? 1024 : std::stoul(opts);
+        return std::make_unique<baselines::DfcCache>(memParams, line);
+    }
+    if (head == "mempod")
+        return std::make_unique<baselines::MemPod>(memParams);
+    if (head == "chameleon")
+        return std::make_unique<baselines::Chameleon>(memParams);
+    if (head == "lgm") {
+        baselines::LgmParams p;
+        for (const auto &token : splitOn(opts, ',')) {
+            auto [key, value] = keyValue(token);
+            if (key == "watermark")
+                p.watermark = static_cast<u32>(std::stoul(value));
+            else
+                h2_fatal("unknown lgm option: ", key);
+        }
+        return std::make_unique<baselines::Lgm>(memParams, llc, p);
+    }
+    h2_fatal("unknown design spec: ", spec);
+}
+
+const std::vector<std::string> &
+evaluatedDesigns()
+{
+    static const std::vector<std::string> designs = {
+        "mempod", "chameleon", "lgm", "tagless", "dfc", "hybrid2",
+    };
+    return designs;
+}
+
+Runner::Runner(const RunConfig &config)
+    : cfg(config)
+{
+}
+
+SystemConfig
+Runner::systemConfig() const
+{
+    SystemConfig sc = table1Config(cfg.nmBytes, cfg.fmBytes);
+    sc.numCores = cfg.numCores;
+    sc.instrPerCore = cfg.instrPerCore;
+    sc.warmupInstrPerCore = cfg.warmupInstrPerCore;
+    sc.seed = cfg.seed;
+    return sc;
+}
+
+const Metrics &
+Runner::run(const workloads::Workload &workload,
+            const std::string &designSpec)
+{
+    std::string key = workload.name + "|" + designSpec;
+    auto it = results.find(key);
+    if (it != results.end())
+        return it->second;
+
+    System system(systemConfig(), workload,
+                  [&](const mem::MemSystemParams &mp,
+                      const mem::LlcView &llc) {
+                      return makeDesign(designSpec, mp, llc);
+                  });
+    system.run();
+    return results.emplace(key, system.metrics()).first->second;
+}
+
+double
+Runner::speedup(const workloads::Workload &workload,
+                const std::string &designSpec)
+{
+    const Metrics &base = run(workload, "baseline");
+    const Metrics &design = run(workload, designSpec);
+    h2_assert(design.timePs > 0, "zero runtime");
+    return double(base.timePs) / double(design.timePs);
+}
+
+} // namespace h2::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The experiment runner: design specs, construction, result caching,
+ * and speedups over the FM-only baseline.
+ *
+ * Design spec grammar (used by benches, tests and examples):
+ *   "baseline"
+ *   "hybrid2"            best Table-DSE configuration
+ *   "hybrid2:cacheonly|migrall|migrnone|noremap"
+ *   "hybrid2:cache=<MiB>,sector=<B>,line=<B>"
+ *   "ideal:<lineBytes>"  overhead-free DRAM cache
+ *   "tagless"            page-granular cache
+ *   "dfc[:<lineBytes>]"  decoupled fused cache (default 1024)
+ *   "mempod" | "chameleon" | "lgm[:watermark=<n>]"
+ */
+
+#ifndef H2_SIM_RUNNER_H
+#define H2_SIM_RUNNER_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/system.h"
+
+namespace h2::sim {
+
+/** Build a memory organization from a design spec. */
+std::unique_ptr<mem::HybridMemory>
+makeDesign(const std::string &spec, const mem::MemSystemParams &memParams,
+           const mem::LlcView &llc);
+
+/** The designs compared in Figures 12-18. */
+const std::vector<std::string> &evaluatedDesigns();
+
+/** Scenario knobs for one batch of runs. */
+struct RunConfig
+{
+    u64 nmBytes = 1ull << 30;
+    u64 fmBytes = 16ull << 30;
+    u64 instrPerCore = 1'500'000;
+    u64 warmupInstrPerCore = 0;
+    u32 numCores = 8;
+    u64 seed = 42;
+};
+
+/** Runs (workload, design) pairs, memoizing results per config. */
+class Runner
+{
+  public:
+    explicit Runner(const RunConfig &config = {});
+
+    /** Simulate @p workload under @p designSpec (cached). */
+    const Metrics &run(const workloads::Workload &workload,
+                       const std::string &designSpec);
+
+    /** Speedup of @p designSpec over the FM-only baseline. */
+    double speedup(const workloads::Workload &workload,
+                   const std::string &designSpec);
+
+    const RunConfig &config() const { return cfg; }
+
+  private:
+    SystemConfig systemConfig() const;
+
+    RunConfig cfg;
+    std::map<std::string, Metrics> results;
+};
+
+} // namespace h2::sim
+
+#endif // H2_SIM_RUNNER_H

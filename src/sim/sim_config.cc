@@ -1,0 +1,60 @@
+#include "sim/sim_config.h"
+
+#include <sstream>
+
+#include "common/units.h"
+#include "dram/dram_params.h"
+
+namespace h2::sim {
+
+SystemConfig
+table1Config(u64 nmBytes, u64 fmBytes)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.hier.numCores = 8;
+    cfg.hier.l1 = {"L1", 64 * KiB, 4, 64, cache::ReplPolicy::Lru};
+    cfg.hier.l2 = {"L2", 256 * KiB, 8, 64, cache::ReplPolicy::Lru};
+    cfg.hier.llc = {"LLC", 8 * MiB, 16, 64, cache::ReplPolicy::Lru};
+    cfg.hier.l1LatencyCycles = 1;
+    cfg.hier.l2LatencyCycles = 9;
+    cfg.hier.llcLatencyCycles = 14;
+    cfg.mem.nmBytes = nmBytes;
+    cfg.mem.fmBytes = fmBytes;
+    return cfg;
+}
+
+std::string
+describeConfig(const SystemConfig &cfg)
+{
+    auto nm = dram::DramParams::hbm2(cfg.mem.nmBytes);
+    auto fm = dram::DramParams::ddr4_3200(cfg.mem.fmBytes);
+    std::ostringstream os;
+    os << "Cores       : " << cfg.numCores << " cores, out-of-order, "
+       << cfg.core.issueWidth << "-way issue/commit, 3.2 GHz\n"
+       << "L1 Cache    : private, " << formatBytes(cfg.hier.l1.sizeBytes)
+       << ", " << cfg.hier.l1.ways << "-way, "
+       << cfg.hier.l1LatencyCycles << " cycle access latency\n"
+       << "L2 Cache    : private, " << formatBytes(cfg.hier.l2.sizeBytes)
+       << ", " << cfg.hier.l2.ways << "-way, "
+       << cfg.hier.l2LatencyCycles << " cycles access latency\n"
+       << "L3 Cache    : shared " << formatBytes(cfg.hier.llc.sizeBytes)
+       << ", " << cfg.hier.llc.ways << "-way, "
+       << cfg.hier.llcLatencyCycles
+       << " cycles access latency, non-inclusive non-exclusive\n"
+       << "Near Memory : " << nm.name << " 2 GHz, "
+       << formatBytes(nm.capacityBytes) << ", " << nm.channels
+       << " 128-bit channels, " << nm.banksPerChannel
+       << " banks, tCAS-tRCD-tRP: " << nm.tCas << "-" << nm.tRcd << "-"
+       << nm.tRp << ", RD/WR+I/O energy: " << nm.rdwrPjPerBit
+       << " pJ/bit, ACT/PRE energy: " << nm.actPreNj << " nJ\n"
+       << "Far Memory  : " << fm.name << ", "
+       << formatBytes(fm.capacityBytes) << ", " << fm.channels
+       << " 64-bit channels, " << fm.banksPerChannel
+       << " banks, tCAS-tRCD-tRP: " << fm.tCas << "-" << fm.tRcd << "-"
+       << fm.tRp << ", RD/WR+I/O energy: " << fm.rdwrPjPerBit
+       << " pJ/bit, ACT/PRE energy: " << fm.actPreNj << " nJ\n";
+    return os.str();
+}
+
+} // namespace h2::sim

@@ -1,0 +1,108 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace h2::sim {
+
+System::System(const SystemConfig &config,
+               const workloads::Workload &workload,
+               const DesignFactory &factory)
+    : cfg(config), wl(workload)
+{
+    cfg.hier.numCores = cfg.numCores;
+    hier = std::make_unique<cache::CacheHierarchy>(cfg.hier);
+    llcView = std::make_unique<HierarchyLlcView>(*hier);
+    mem = factory(cfg.mem, *llcView);
+    h2_assert(mem, "design factory returned nothing");
+
+    u64 virtualBytes = wl.totalVirtualBytes(cfg.numCores);
+    map = std::make_unique<AddressMap>(mem->flatCapacity(), virtualBytes,
+                                       splitmix64(cfg.seed));
+
+    CoreParams coreParams = cfg.core;
+    coreParams.maxOutstanding =
+        std::min(coreParams.maxOutstanding, wl.mlp);
+
+    for (u32 c = 0; c < cfg.numCores; ++c) {
+        traces.push_back(wl.makeSource(c, cfg.numCores, cfg.seed));
+        Addr vbase = wl.multithreaded
+            ? 0 : Addr(c) * wl.perCoreFootprint(cfg.numCores);
+        cores.push_back(std::make_unique<CoreModel>(
+            c, coreParams, *traces.back(), *hier, *mem, *map, vbase,
+            cfg.warmupInstrPerCore + cfg.instrPerCore));
+    }
+}
+
+void
+System::runUntil(u64 instrTarget)
+{
+    // Advance the globally earliest core, so cross-core memory
+    // contention is observed in (approximate) time order.
+    while (true) {
+        CoreModel *next = nullptr;
+        for (auto &core : cores)
+            if (core->instructions() < instrTarget &&
+                (!next || core->now() < next->now()))
+                next = core.get();
+        if (!next)
+            break;
+        next->step();
+    }
+}
+
+void
+System::run()
+{
+    h2_assert(!ran, "System::run called twice");
+    if (cfg.warmupInstrPerCore > 0) {
+        runUntil(cfg.warmupInstrPerCore);
+        for (auto &core : cores)
+            core->beginMeasurement();
+        hier->resetStats();
+        mem->resetStats();
+    }
+    runUntil(cfg.warmupInstrPerCore + cfg.instrPerCore);
+    for (auto &core : cores)
+        core->drain();
+    mem->checkInvariants();
+    ran = true;
+}
+
+Metrics
+System::metrics() const
+{
+    h2_assert(ran, "metrics requested before run()");
+    Metrics m;
+    m.workload = wl.name;
+    m.design = mem->name();
+    Tick measStart = 0;
+    Tick end = 0;
+    for (const auto &core : cores) {
+        m.instructions += core->measuredInstructions();
+        m.memAccesses += core->measuredAccesses();
+        measStart = std::max(measStart, core->measurementStart());
+        end = std::max(end, core->now());
+    }
+    m.timePs = end - measStart;
+    m.cycles = m.timePs / cfg.core.periodPs;
+    m.ipc = m.cycles ? double(m.instructions) / double(m.cycles) : 0.0;
+    m.llcMisses = hier->llcMisses();
+    m.mpki = m.instructions
+        ? double(m.llcMisses) / (double(m.instructions) / 1000.0) : 0.0;
+    m.memRequests = mem->requests();
+    m.servedFromNm = m.memRequests
+        ? double(mem->requestsFromNm()) / double(m.memRequests) : 0.0;
+    m.fmTrafficBytes = mem->fmDevice().stats().totalBytes();
+    if (mem->hasNm())
+        m.nmTrafficBytes = mem->nmDevice().stats().totalBytes();
+    m.dynamicEnergyPj = mem->dynamicEnergyPj();
+    m.flatCapacityBytes = mem->flatCapacity();
+    m.footprintBytes = wl.footprintBytes;
+    hier->collectStats(m.detail);
+    mem->collectStats(m.detail);
+    return m;
+}
+
+} // namespace h2::sim

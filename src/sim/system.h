@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Full-system wiring: cores + SRAM hierarchy + the memory organization
+ * under test, with global-time interleaving across cores.
+ */
+
+#ifndef H2_SIM_SYSTEM_H
+#define H2_SIM_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/core_model.h"
+#include "sim/metrics.h"
+#include "workloads/workload_registry.h"
+
+namespace h2::sim {
+
+/** LlcView over the shared LLC for LGM-style policies. */
+class HierarchyLlcView : public mem::LlcView
+{
+  public:
+    explicit HierarchyLlcView(const cache::CacheHierarchy &hierarchy)
+        : hier(hierarchy)
+    {
+    }
+
+    u32
+    residentLines(Addr base, u64 bytes) const override
+    {
+        return hier.llcResidentLinesInRange(base, bytes);
+    }
+
+  private:
+    const cache::CacheHierarchy &hier;
+};
+
+/** Builds the memory organization once the LLC view exists. */
+using DesignFactory = std::function<std::unique_ptr<mem::HybridMemory>(
+    const mem::MemSystemParams &, const mem::LlcView &)>;
+
+class System
+{
+  public:
+    System(const SystemConfig &config, const workloads::Workload &workload,
+           const DesignFactory &factory);
+
+    /** Run every core to its instruction budget. */
+    void run();
+
+    Metrics metrics() const;
+
+    mem::HybridMemory &memory() { return *mem; }
+    const mem::HybridMemory &memory() const { return *mem; }
+    cache::CacheHierarchy &hierarchy() { return *hier; }
+
+  private:
+    void runUntil(u64 instrTarget);
+
+    SystemConfig cfg;
+    workloads::Workload wl;
+    std::unique_ptr<cache::CacheHierarchy> hier;
+    std::unique_ptr<HierarchyLlcView> llcView;
+    std::unique_ptr<mem::HybridMemory> mem;
+    std::unique_ptr<AddressMap> map;
+    std::vector<std::unique_ptr<workloads::TraceSource>> traces;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    bool ran = false;
+};
+
+} // namespace h2::sim
+
+#endif // H2_SIM_SYSTEM_H

@@ -1,0 +1,181 @@
+#include "workloads/generators.h"
+
+#include "common/log.h"
+
+namespace h2::workloads {
+
+GeneratorBase::GeneratorBase(const GenParams &params)
+    : p(params), rng(params.seed)
+{
+    h2_assert(p.footprintBytes >= 4096, "footprint too small");
+    h2_assert(p.memRatio > 0.0 && p.memRatio <= 1.0, "bad memRatio");
+    h2_assert(p.writeFrac >= 0.0 && p.writeFrac <= 1.0, "bad writeFrac");
+}
+
+TraceRecord
+GeneratorBase::next()
+{
+    TraceRecord rec;
+    // Expected instructions per access = 1/memRatio; the gap excludes
+    // the access itself. Carry the fractional part so the ratio is met
+    // exactly in the long run.
+    double gap = 1.0 / p.memRatio - 1.0 + gapCarry;
+    rec.instGap = static_cast<u32>(gap);
+    gapCarry = gap - rec.instGap;
+    rec.vaddr = nextAddr() % p.footprintBytes;
+    rec.type = rng.chance(p.writeFrac) ? AccessType::Write
+                                       : AccessType::Read;
+    return rec;
+}
+
+StreamGen::StreamGen(const GenParams &params)
+    : GeneratorBase(params)
+{
+    u32 n = std::max<u32>(1, p.streams);
+    partitionBytes = p.footprintBytes / n;
+    h2_assert(partitionBytes > 0, "too many streams for footprint");
+    cursors.resize(n);
+    for (u32 s = 0; s < n; ++s)
+        cursors[s] = rng.below(partitionBytes);
+}
+
+Addr
+StreamGen::nextAddr()
+{
+    u32 s = turn;
+    turn = (turn + 1) % cursors.size();
+    u64 addr = u64(s) * partitionBytes + cursors[s];
+    cursors[s] = (cursors[s] + p.accessStride) % partitionBytes;
+    return addr;
+}
+
+StrideGen::StrideGen(const GenParams &params, u64 strideBytes)
+    : GeneratorBase(params), stride(strideBytes)
+{
+    h2_assert(stride > 0 && stride < p.footprintBytes, "bad stride");
+}
+
+Addr
+StrideGen::nextAddr()
+{
+    u64 addr = cursor;
+    cursor += stride;
+    if (cursor >= p.footprintBytes)
+        // Restart offset by one element to touch new lines each sweep.
+        cursor = (cursor + p.accessStride) % stride;
+    return addr;
+}
+
+RandomGen::RandomGen(const GenParams &params)
+    : GeneratorBase(params)
+{
+}
+
+Addr
+RandomGen::nextAddr()
+{
+    if (remainingInBurst == 0) {
+        cursor = rng.below(p.footprintBytes) & ~Addr(63);
+        remainingInBurst = p.burstLines;
+    } else {
+        cursor = (cursor + 64) % p.footprintBytes;
+    }
+    --remainingInBurst;
+    return cursor;
+}
+
+ZipfGen::ZipfGen(const GenParams &params)
+    : GeneratorBase(params)
+{
+    hotBytes = p.hotBytes
+        ? p.hotBytes
+        : static_cast<u64>(p.footprintBytes * p.hotFraction);
+    hotBytes = std::min(std::max<u64>(4096, hotBytes),
+                        p.footprintBytes / 2);
+}
+
+Addr
+ZipfGen::nextAddr()
+{
+    if (rng.chance(p.hotProbability)) {
+        // Resident loop over the hot region, one line per step.
+        Addr a = hotCursor;
+        hotCursor = (hotCursor + 64) % hotBytes;
+        return a;
+    }
+    // Cold tail: random jumps with short sequential bursts.
+    u64 coldSpan = p.footprintBytes - hotBytes;
+    if (coldRemaining == 0) {
+        coldCursor = rng.below(coldSpan) & ~Addr(63);
+        coldRemaining = p.burstLines;
+    } else {
+        coldCursor = (coldCursor + 64) % coldSpan;
+    }
+    --coldRemaining;
+    return hotBytes + coldCursor;
+}
+
+PointerChaseGen::PointerChaseGen(const GenParams &params)
+    : GeneratorBase(params)
+{
+    // Full-period LCG over a power-of-two node count: a % 8 == 5,
+    // c odd (Hull-Dobell).
+    nodes = u64(1) << floorLog2(p.footprintBytes / 64);
+    pos = rng.below(nodes);
+    mult = 6364136223846793005ULL;
+    inc = splitmix64(p.seed) | 1;
+}
+
+Addr
+PointerChaseGen::nextAddr()
+{
+    pos = (mult * pos + inc) & (nodes - 1);
+    return pos * 64;
+}
+
+GatherGen::GatherGen(const GenParams &params)
+    : GeneratorBase(params)
+{
+    regionBytes = std::min<u64>(
+        p.hotBytes ? p.hotBytes : u64(p.footprintBytes * p.hotFraction),
+        p.footprintBytes / 2);
+    h2_assert(regionBytes >= 4096, "gather region too small");
+    streamSpan = p.footprintBytes - regionBytes;
+    u32 n = std::max<u32>(1, p.streams);
+    partitionBytes = streamSpan / n;
+    cursors.resize(n);
+    for (u32 s = 0; s < n; ++s)
+        cursors[s] = rng.below(partitionBytes);
+}
+
+Addr
+GatherGen::nextAddr()
+{
+    if (rng.chance(p.hotProbability))
+        return rng.below(regionBytes) & ~Addr(7);
+    u32 s = turn;
+    turn = (turn + 1) % cursors.size();
+    u64 addr = regionBytes + u64(s) * partitionBytes + cursors[s];
+    cursors[s] = (cursors[s] + p.accessStride) % partitionBytes;
+    return addr;
+}
+
+PhasedGen::PhasedGen(const GenParams &params, u64 windowBytes)
+    : GeneratorBase(params), window(windowBytes)
+{
+    h2_assert(window >= 4096 && window <= p.footprintBytes,
+              "bad phase window");
+    h2_assert(p.phaseLength > 0, "PhasedGen needs a phase length");
+}
+
+Addr
+PhasedGen::nextAddr()
+{
+    if (++accessesInPhase >= p.phaseLength) {
+        accessesInPhase = 0;
+        windowBase = rng.below(p.footprintBytes - window) & ~Addr(4095);
+    }
+    return windowBase + (rng.below(window) & ~Addr(7));
+}
+
+} // namespace h2::workloads

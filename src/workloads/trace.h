@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace record/source interfaces.
+ *
+ * The paper drives its simulator from Pin-captured SPEC2017/NAS traces;
+ * this reproduction drives the same pipeline from deterministic
+ * synthetic trace sources (one per paper benchmark, see
+ * workload_registry.h) or from user-supplied traces.
+ */
+
+#ifndef H2_WORKLOADS_TRACE_H
+#define H2_WORKLOADS_TRACE_H
+
+#include "common/types.h"
+
+namespace h2::workloads {
+
+/** One memory operation plus the non-memory work preceding it. */
+struct TraceRecord
+{
+    u32 instGap = 0;  ///< non-memory instructions before this access
+    Addr vaddr = 0;   ///< virtual byte address within the workload
+    AccessType type = AccessType::Read;
+};
+
+/** An infinite, deterministic stream of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    virtual TraceRecord next() = 0;
+};
+
+} // namespace h2::workloads
+
+#endif // H2_WORKLOADS_TRACE_H

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for replacement policies and the generic set-associative cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.h"
+#include "cache/set_assoc_cache.h"
+#include "common/units.h"
+
+namespace h2::cache {
+namespace {
+
+CacheParams
+smallCache(u32 ways = 4, u32 lineBytes = 64,
+           ReplPolicy repl = ReplPolicy::Lru)
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = u64(ways) * lineBytes * 8; // 8 sets
+    p.ways = ways;
+    p.lineBytes = lineBytes;
+    p.repl = repl;
+    return p;
+}
+
+TEST(Replacement, InvalidWayWinsFirst)
+{
+    u64 stamps[4] = {5, 6, 7, 8};
+    bool valids[4] = {true, true, false, true};
+    EXPECT_EQ(selectVictim(ReplPolicy::Lru, stamps, valids, 4, 0), 2u);
+}
+
+TEST(Replacement, LruPicksSmallestStamp)
+{
+    u64 stamps[4] = {5, 2, 7, 8};
+    bool valids[4] = {true, true, true, true};
+    EXPECT_EQ(selectVictim(ReplPolicy::Lru, stamps, valids, 4, 0), 1u);
+}
+
+TEST(Replacement, RandomStaysInRange)
+{
+    u64 stamps[4] = {1, 2, 3, 4};
+    bool valids[4] = {true, true, true, true};
+    for (u64 t = 0; t < 100; ++t)
+        EXPECT_LT(selectVictim(ReplPolicy::Random, stamps, valids, 4, t),
+                  4u);
+}
+
+TEST(Replacement, ToString)
+{
+    EXPECT_EQ(to_string(ReplPolicy::Lru), "LRU");
+    EXPECT_EQ(to_string(ReplPolicy::Fifo), "FIFO");
+    EXPECT_EQ(to_string(ReplPolicy::Random), "Random");
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, AccessType::Read));
+    c.insert(0x1000, false);
+    EXPECT_TRUE(c.access(0x1000, AccessType::Read));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, SubLineAddressesAlias)
+{
+    SetAssocCache c(smallCache());
+    c.insert(0x1000, false);
+    EXPECT_TRUE(c.access(0x1004, AccessType::Read));
+    EXPECT_TRUE(c.probe(0x103F));
+    EXPECT_FALSE(c.probe(0x1040));
+}
+
+TEST(SetAssocCache, LruEvictionOrder)
+{
+    // 4-way set; fill 4 lines of one set, touch the first, insert a
+    // fifth: the second line (LRU) must be evicted.
+    SetAssocCache c(smallCache());
+    u64 setStride = 8 * 64; // 8 sets * 64 B
+    for (u64 i = 0; i < 4; ++i)
+        c.insert(i * setStride, false);
+    EXPECT_TRUE(c.access(0, AccessType::Read)); // refresh way 0
+    auto victim = c.insert(4 * setStride, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, setStride);
+}
+
+TEST(SetAssocCache, FifoIgnoresAccessRecency)
+{
+    SetAssocCache c(smallCache(4, 64, ReplPolicy::Fifo));
+    u64 setStride = 8 * 64;
+    for (u64 i = 0; i < 4; ++i)
+        c.insert(i * setStride, false);
+    EXPECT_TRUE(c.access(0, AccessType::Read)); // should NOT refresh
+    auto victim = c.insert(4 * setStride, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, 0u); // oldest insertion evicted
+}
+
+TEST(SetAssocCache, DirtyTracking)
+{
+    SetAssocCache c(smallCache());
+    c.insert(0x40, false);
+    EXPECT_FALSE(c.probeDirty(0x40));
+    c.access(0x40, AccessType::Write);
+    EXPECT_TRUE(c.probeDirty(0x40));
+}
+
+TEST(SetAssocCache, DirtyEvictionReported)
+{
+    SetAssocCache c(smallCache(1)); // direct-mapped, 8 sets
+    c.insert(0, true);
+    auto victim = c.insert(8 * 64, false); // same set
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(c.dirtyEvictions(), 1u);
+}
+
+TEST(SetAssocCache, InsertDirtyFlag)
+{
+    SetAssocCache c(smallCache());
+    c.insert(0x80, true);
+    EXPECT_TRUE(c.probeDirty(0x80));
+}
+
+TEST(SetAssocCache, Invalidate)
+{
+    SetAssocCache c(smallCache());
+    c.insert(0x100, true);
+    auto wasDirty = c.invalidate(0x100);
+    ASSERT_TRUE(wasDirty.has_value());
+    EXPECT_TRUE(*wasDirty);
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_FALSE(c.invalidate(0x100).has_value());
+}
+
+TEST(SetAssocCache, SetDirty)
+{
+    SetAssocCache c(smallCache());
+    c.insert(0x200, false);
+    c.setDirty(0x200);
+    EXPECT_TRUE(c.probeDirty(0x200));
+}
+
+TEST(SetAssocCache, ResidentLinesInRange)
+{
+    SetAssocCache c(smallCache(4, 64));
+    c.insert(0, false);
+    c.insert(64, false);
+    c.insert(192, false);
+    EXPECT_EQ(c.residentLinesInRange(0, 256), 3u);
+    EXPECT_EQ(c.residentLinesInRange(0, 128), 2u);
+    EXPECT_EQ(c.residentLinesInRange(256, 256), 0u);
+}
+
+TEST(SetAssocCache, NumValidLines)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_EQ(c.numValidLines(), 0u);
+    c.insert(0, false);
+    c.insert(64, false);
+    EXPECT_EQ(c.numValidLines(), 2u);
+}
+
+TEST(SetAssocCacheDeath, DoubleInsert)
+{
+    SetAssocCache c(smallCache());
+    c.insert(0x40, false);
+    EXPECT_DEATH(c.insert(0x40, false), "double insert");
+}
+
+TEST(SetAssocCacheDeath, SetDirtyOnAbsent)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_DEATH(c.setDirty(0x40), "absent");
+}
+
+struct GeometryParam
+{
+    u32 ways;
+    u32 lineBytes;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<GeometryParam>
+{
+};
+
+TEST_P(CacheGeometry, FillWholeCacheThenHitEverything)
+{
+    auto [ways, lineBytes] = GetParam();
+    CacheParams p;
+    p.name = "sweep";
+    p.sizeBytes = 64 * KiB;
+    p.ways = ways;
+    p.lineBytes = lineBytes;
+    SetAssocCache c(p);
+
+    u64 lines = p.sizeBytes / lineBytes;
+    for (u64 i = 0; i < lines; ++i)
+        ASSERT_FALSE(c.insert(i * lineBytes, false).has_value());
+    EXPECT_EQ(c.numValidLines(), lines);
+    for (u64 i = 0; i < lines; ++i)
+        ASSERT_TRUE(c.access(i * lineBytes, AccessType::Read));
+    // One more distinct line forces exactly one eviction.
+    EXPECT_TRUE(c.insert(lines * lineBytes, false).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(GeometryParam{1, 64}, GeometryParam{2, 64},
+                      GeometryParam{4, 64}, GeometryParam{8, 256},
+                      GeometryParam{16, 64}, GeometryParam{16, 1024},
+                      GeometryParam{4, 4096}));
+
+} // namespace
+} // namespace h2::cache

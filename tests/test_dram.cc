@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the DRAM timing/energy model against Table 1 expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "dram/dram_device.h"
+
+namespace h2::dram {
+namespace {
+
+TEST(DramParams, Hbm2MatchesTable1)
+{
+    auto p = DramParams::hbm2(GiB);
+    EXPECT_EQ(p.channels, 8u);
+    EXPECT_EQ(p.busBytes, 16u);   // 128-bit
+    EXPECT_EQ(p.clockPs, 500u);   // 2 GHz
+    EXPECT_EQ(p.tCas, 7u);
+    EXPECT_EQ(p.tRcd, 7u);
+    EXPECT_EQ(p.tRp, 7u);
+    EXPECT_DOUBLE_EQ(p.rdwrPjPerBit, 6.4);
+    EXPECT_DOUBLE_EQ(p.actPreNj, 15.0);
+    // 8 ch x 16 B x 2 beats x 2 GHz = 512 GB/s.
+    EXPECT_NEAR(p.peakBandwidthBytesPerSec(), 512e9, 1e9);
+}
+
+TEST(DramParams, Ddr4MatchesTable1)
+{
+    auto p = DramParams::ddr4_3200(16 * GiB);
+    EXPECT_EQ(p.channels, 2u);
+    EXPECT_EQ(p.busBytes, 8u);    // 64-bit
+    EXPECT_EQ(p.tCas, 22u);
+    // 2 ch x 8 B x 3200 MT/s = 51.2 GB/s.
+    EXPECT_NEAR(p.peakBandwidthBytesPerSec(), 51.2e9, 1e9);
+}
+
+class DramPresets : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    DramParams
+    params() const
+    {
+        return std::string(GetParam()) == "hbm2"
+            ? DramParams::hbm2(256 * MiB)
+            : DramParams::ddr4_3200(256 * MiB);
+    }
+};
+
+TEST_P(DramPresets, RowHitFasterThanRowMiss)
+{
+    DramDevice dev(params());
+    Tick first = dev.access(0, 64, AccessType::Read, 0);
+    // Same row, later in time: row hit.
+    Tick hitStart = first + 100000;
+    Tick hit = dev.access(64, 64, AccessType::Read, hitStart) - hitStart;
+    // Same bank, different row: row miss (PRE+ACT+CAS).
+    u64 rowSpan = u64(params().rowBytes) * params().channels;
+    Tick missStart = first + 200000;
+    Tick miss =
+        dev.access(rowSpan * params().banksPerChannel, 64,
+                   AccessType::Read, missStart) - missStart;
+    EXPECT_LT(hit, miss);
+    EXPECT_GE(miss, hit + Tick(params().tRp) * params().clockPs);
+}
+
+TEST_P(DramPresets, BankConflictSerializes)
+{
+    DramDevice dev(params());
+    // Two accesses to the same bank at the same instant must serialize.
+    Tick a = dev.access(0, 64, AccessType::Read, 0);
+    Tick b = dev.access(0, 64, AccessType::Read, 0);
+    EXPECT_GT(b, a);
+}
+
+TEST_P(DramPresets, DifferentChannelsProceedInParallel)
+{
+    auto p = params();
+    DramDevice dev(p);
+    Tick a = dev.access(0, 64, AccessType::Read, 0);
+    // Next interleave chunk lands on the next channel.
+    Tick b = dev.access(p.interleaveBytes, 64, AccessType::Read, 0);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(DramPresets, LargeAccessSplitsAcrossChannels)
+{
+    auto p = params();
+    DramDevice dev(p);
+    Tick wide = dev.access(0, p.interleaveBytes * 4, AccessType::Read, 0);
+    DramDevice dev2(p);
+    Tick narrow = dev2.access(0, 64, AccessType::Read, 0);
+    // Four channels in parallel: the wide access must not take 4x the
+    // narrow one.
+    EXPECT_LT(wide, narrow * 3);
+    EXPECT_EQ(dev.stats().bytesRead, p.interleaveBytes * 4u);
+}
+
+TEST_P(DramPresets, EnergyAccounting)
+{
+    auto p = params();
+    DramDevice dev(p);
+    dev.access(0, 64, AccessType::Read, 0);
+    double expected = 64 * 8 * p.rdwrPjPerBit + p.actPreNj * 1000.0;
+    EXPECT_NEAR(dev.dynamicEnergyPj(), expected, 1e-6);
+    // A row hit adds only transfer energy.
+    dev.access(0, 64, AccessType::Write, 1000000);
+    EXPECT_NEAR(dev.dynamicEnergyPj(),
+                expected + 64 * 8 * p.rdwrPjPerBit, 1e-6);
+}
+
+TEST_P(DramPresets, StatsCounters)
+{
+    DramDevice dev(params());
+    dev.access(0, 64, AccessType::Read, 0);
+    dev.access(0, 64, AccessType::Write, 1000000);
+    EXPECT_EQ(dev.stats().reads, 1u);
+    EXPECT_EQ(dev.stats().writes, 1u);
+    EXPECT_EQ(dev.stats().bytesRead, 64u);
+    EXPECT_EQ(dev.stats().bytesWritten, 64u);
+    EXPECT_EQ(dev.stats().rowEmpty, 1u);
+    EXPECT_EQ(dev.stats().rowHits, 1u);
+    dev.resetStats();
+    EXPECT_EQ(dev.stats().totalBytes(), 0u);
+}
+
+TEST_P(DramPresets, QueueingDelaysLaterTraffic)
+{
+    auto p = params();
+    DramDevice dev(p);
+    // Saturate one channel with many back-to-back accesses.
+    Tick lastDone = 0;
+    for (int i = 0; i < 32; ++i)
+        lastDone = dev.access(0, 64, AccessType::Read, 0);
+    // The 32nd access cannot complete before 31 bursts of queueing.
+    Tick burst = ceilDiv(64, u64(p.busBytes) * 2) * p.clockPs;
+    EXPECT_GE(lastDone, 31 * burst);
+}
+
+TEST_P(DramPresets, ProbeLatencyDoesNotMutate)
+{
+    DramDevice dev(params());
+    dev.access(0, 64, AccessType::Read, 0);
+    auto statsBefore = dev.stats().totalBytes();
+    Tick probe1 = dev.probeLatency(0, 64, 1000000);
+    Tick probe2 = dev.probeLatency(0, 64, 1000000);
+    EXPECT_EQ(probe1, probe2);
+    EXPECT_EQ(dev.stats().totalBytes(), statsBefore);
+    EXPECT_GT(probe1, 0u);
+}
+
+TEST_P(DramPresets, UtilizationBounded)
+{
+    DramDevice dev(params());
+    Tick done = 0;
+    for (int i = 0; i < 100; ++i)
+        done = dev.access((i * 64) % (1 * MiB), 64, AccessType::Read, 0);
+    double util = dev.busUtilization(done);
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST_P(DramPresets, CollectStats)
+{
+    DramDevice dev(params());
+    dev.access(0, 64, AccessType::Read, 0);
+    StatSet out;
+    dev.collectStats(out, "dev");
+    EXPECT_DOUBLE_EQ(out.get("dev.reads"), 1.0);
+    EXPECT_DOUBLE_EQ(out.get("dev.bytesRead"), 64.0);
+    EXPECT_GT(out.get("dev.dynamicEnergyPj"), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, DramPresets,
+                         ::testing::Values("hbm2", "ddr4"));
+
+TEST(DramDeviceDeath, OutOfCapacity)
+{
+    DramDevice dev(DramParams::hbm2(1 * MiB));
+    EXPECT_DEATH(dev.access(1 * MiB, 64, AccessType::Read, 0),
+                 "beyond capacity");
+}
+
+TEST(DramDeviceDeath, ZeroBytes)
+{
+    DramDevice dev(DramParams::hbm2(1 * MiB));
+    EXPECT_DEATH(dev.access(0, 0, AccessType::Read, 0), "zero-byte");
+}
+
+TEST(DramDevice, WriteTimingComparableToRead)
+{
+    DramDevice dev(DramParams::ddr4_3200(256 * MiB));
+    Tick r = dev.access(0, 64, AccessType::Read, 0);
+    DramDevice dev2(DramParams::ddr4_3200(256 * MiB));
+    Tick w = dev2.access(0, 64, AccessType::Write, 0);
+    EXPECT_EQ(r, w);
+}
+
+TEST(DramDevice, HbmFasterThanDdr4ForSameAccess)
+{
+    DramDevice hbm(DramParams::hbm2(256 * MiB));
+    DramDevice ddr(DramParams::ddr4_3200(256 * MiB));
+    Tick thbm = hbm.access(0, 64, AccessType::Read, 0);
+    Tick tddr = ddr.access(0, 64, AccessType::Read, 0);
+    EXPECT_LT(thbm, tddr);
+}
+
+} // namespace
+} // namespace h2::dram

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the Free-FM-Stack (paper sections 3.3 / 3.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/free_fm_stack.h"
+
+namespace h2::core {
+namespace {
+
+TEST(FreeFmStack, LifoOrder)
+{
+    FreeFmStack s;
+    s.push(10);
+    s.push(20);
+    s.push(30);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.pop(), 30u);
+    EXPECT_EQ(s.pop(), 20u);
+    EXPECT_EQ(s.pop(), 10u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(FreeFmStack, NoNmTrafficWithinOnChipWindow)
+{
+    FreeFmStack s(64, 16);
+    for (u64 i = 0; i < 64; ++i)
+        s.push(i);
+    EXPECT_EQ(s.takeNmSpills(), 0u);
+    while (!s.empty())
+        s.pop();
+    EXPECT_EQ(s.takeNmFills(), 0u);
+}
+
+TEST(FreeFmStack, DeepStackSpillsToNm)
+{
+    FreeFmStack s(64, 16);
+    for (u64 i = 0; i < 256; ++i)
+        s.push(i);
+    u64 spills = s.takeNmSpills();
+    // (256 - 64) entries past the window, 16 entries per NM line.
+    EXPECT_EQ(spills, (256 - 64) / 16u);
+    EXPECT_EQ(s.takeNmSpills(), 0u); // drained
+    EXPECT_EQ(s.totalNmSpills(), spills);
+}
+
+TEST(FreeFmStack, DrainingDeepStackFillsFromNm)
+{
+    FreeFmStack s(64, 16);
+    for (u64 i = 0; i < 256; ++i)
+        s.push(i);
+    s.takeNmSpills();
+    while (!s.empty())
+        s.pop();
+    u64 fills = s.takeNmFills();
+    EXPECT_EQ(fills, (256 - 64) / 16u);
+    EXPECT_EQ(s.totalNmFills(), fills);
+}
+
+TEST(FreeFmStack, TakeResetsButLifetimePersists)
+{
+    FreeFmStack s(4, 2);
+    for (u64 i = 0; i < 32; ++i)
+        s.push(i);
+    u64 first = s.takeNmSpills();
+    EXPECT_GT(first, 0u);
+    EXPECT_EQ(s.takeNmSpills(), 0u);
+    EXPECT_EQ(s.totalNmSpills(), first);
+}
+
+TEST(FreeFmStackDeath, PopEmpty)
+{
+    FreeFmStack s;
+    EXPECT_DEATH(s.pop(), "empty");
+}
+
+} // namespace
+} // namespace h2::core

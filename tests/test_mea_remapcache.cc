@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the MEA sketch (Karp et al.) and the shared remap cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mea.h"
+#include "baselines/remap_cache.h"
+
+namespace h2::baselines {
+namespace {
+
+TEST(Mea, TracksWithinCapacity)
+{
+    Mea m(4);
+    m.touch(1);
+    m.touch(2);
+    m.touch(1);
+    auto t = m.tracked();
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].first, 1u); // most counted first
+    EXPECT_EQ(t[0].second, 2u);
+}
+
+TEST(Mea, MajorityElementSurvives)
+{
+    // The defining MEA guarantee: an element with > N/(k+1) occurrences
+    // is still tracked at the end of the stream.
+    Mea m(4);
+    for (int i = 0; i < 1000; ++i) {
+        m.touch(42);        // heavy hitter
+        m.touch(1000 + i);  // a parade of one-off elements
+    }
+    auto t = m.tracked();
+    bool found = false;
+    for (const auto &[elem, count] : t)
+        found |= elem == 42;
+    EXPECT_TRUE(found);
+}
+
+TEST(Mea, DecrementAllEvictsLightElements)
+{
+    Mea m(2);
+    m.touch(1);
+    m.touch(2);
+    // Capacity reached; a third element decrements everyone to zero.
+    m.touch(3);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Mea, CountsAccumulate)
+{
+    Mea m(2);
+    for (int i = 0; i < 5; ++i)
+        m.touch(7);
+    auto t = m.tracked();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].second, 5u);
+}
+
+TEST(Mea, Clear)
+{
+    Mea m(4);
+    m.touch(1);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.tracked().empty());
+}
+
+TEST(Mea, CapacityAccessor)
+{
+    Mea m(64);
+    EXPECT_EQ(m.capacity(), 64u);
+}
+
+TEST(RemapCache, MissThenHit)
+{
+    RemapCache rc(1024, 8, 4);
+    EXPECT_FALSE(rc.lookup(42));
+    EXPECT_TRUE(rc.lookup(42));
+    EXPECT_EQ(rc.hits(), 1u);
+    EXPECT_EQ(rc.misses(), 1u);
+}
+
+TEST(RemapCache, CapacityEviction)
+{
+    RemapCache rc(64, 8, 2); // 8 entries total
+    for (u64 s = 0; s < 64; ++s)
+        rc.lookup(s);
+    // The early entries must have been evicted by now.
+    EXPECT_FALSE(rc.lookup(0));
+}
+
+TEST(RemapCache, Invalidate)
+{
+    RemapCache rc(1024, 8, 4);
+    rc.lookup(5);
+    rc.invalidate(5);
+    EXPECT_FALSE(rc.lookup(5));
+}
+
+TEST(RemapCache, DefaultSizedLikeXta)
+{
+    // 512 KB / 8 B entries = 64 K remap entries, per the paper's
+    // equal-metadata-budget methodology.
+    RemapCache rc;
+    for (u64 s = 0; s < 65536; ++s)
+        rc.lookup(s);
+    // All entries fit: everything hits the second time around.
+    for (u64 s = 0; s < 65536; ++s)
+        EXPECT_TRUE(rc.lookup(s));
+}
+
+} // namespace
+} // namespace h2::baselines

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the migration decision (paper section 3.7): net-cost
+ * function properties, counter comparison, and the FM-traffic budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/migration_policy.h"
+
+namespace h2::core {
+namespace {
+
+constexpr u32 kLps = 8; // 2 KB sectors, 256 B lines
+
+TEST(NetCost, PaperExamples)
+{
+    // All lines valid and dirty: Netcost = 1 (cheapest migration).
+    EXPECT_EQ(migrationNetCost(kLps, kLps, kLps), 1u);
+    // One clean valid line: Netcost = 2*Nall (most expensive).
+    EXPECT_EQ(migrationNetCost(kLps, 1, 0), 2 * kLps);
+}
+
+TEST(NetCost, Formula)
+{
+    // Netcost = 2*Nall - Nvalid - Ndirty + 1.
+    EXPECT_EQ(migrationNetCost(8, 4, 2), 2u * 8 - 4 - 2 + 1);
+    EXPECT_EQ(migrationNetCost(16, 10, 5), 2u * 16 - 10 - 5 + 1);
+}
+
+struct CostCase
+{
+    u32 valid;
+    u32 dirty;
+};
+
+class NetCostSweep : public ::testing::TestWithParam<CostCase>
+{
+};
+
+TEST_P(NetCostSweep, AlwaysInPaperRange)
+{
+    auto [valid, dirty] = GetParam();
+    u32 cost = migrationNetCost(kLps, valid, dirty);
+    EXPECT_GE(cost, 1u);
+    EXPECT_LE(cost, 2 * kLps);
+}
+
+std::vector<CostCase>
+allValidDirtyCombos()
+{
+    std::vector<CostCase> cases;
+    for (u32 v = 1; v <= kLps; ++v)
+        for (u32 d = 0; d <= v; ++d)
+            cases.push_back({v, d});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, NetCostSweep,
+                         ::testing::ValuesIn(allValidDirtyCombos()));
+
+TEST(NetCostDeath, MoreDirtyThanValid)
+{
+    EXPECT_DEATH(migrationNetCost(8, 2, 3), "dirty");
+}
+
+TEST(NetCostDeath, ZeroValid)
+{
+    EXPECT_DEATH(migrationNetCost(8, 0, 0), "valid count");
+}
+
+// ---------------------------------------------------------------------
+// Policy fixture: a 4-way XTA set with controllable counters.
+// ---------------------------------------------------------------------
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    PolicyTest()
+        : xta(16, 4, kLps), policy(511, 100 * 1000 * 313)
+    {
+    }
+
+    /** Install sector @p flat in set 0 with @p counter accesses. */
+    XtaEntry *
+    install(u64 flat, u32 counter, bool inFm = true, u32 valid = kLps,
+            u32 dirty = kLps)
+    {
+        XtaEntry *e = xta.victimWay(flat);
+        xta.fill(flat, *e);
+        e->inFm = inFm;
+        e->accessCounter = counter;
+        e->validMask = (u64(1) << valid) - 1;
+        e->dirtyMask = (u64(1) << dirty) - 1;
+        return e;
+    }
+
+    void
+    giveBudget(u64 amount)
+    {
+        for (u64 i = 0; i < amount; ++i)
+            policy.onDemandFmAccess();
+    }
+
+    Xta xta; // 4 sets x 4 ways
+    MigrationPolicy policy;
+};
+
+TEST_F(PolicyTest, MigratesWhenCounterWinsAndBudgetSuffices)
+{
+    XtaEntry *victim = install(0, 10);
+    install(4, 5);
+    giveBudget(100);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+}
+
+TEST_F(PolicyTest, TieCountsAsWin)
+{
+    // Paper: "greater or equal to all other sectors in the set".
+    XtaEntry *victim = install(0, 5);
+    install(4, 5);
+    giveBudget(100);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+}
+
+TEST_F(PolicyTest, DeniedWhenAnotherSectorIsHotter)
+{
+    XtaEntry *victim = install(0, 5);
+    install(4, 6);
+    giveBudget(100);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::DeniedByCounter);
+}
+
+TEST_F(PolicyTest, SaturatedCompetitorsAreIgnored)
+{
+    XtaEntry *victim = install(0, 5);
+    install(4, 511); // saturated: ignored to avoid starvation
+    giveBudget(100);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+}
+
+TEST_F(PolicyTest, NmResidentSectorsDoNotCompete)
+{
+    XtaEntry *victim = install(0, 5);
+    install(4, 100, /*inFm=*/false); // migrated sector: no competition
+    giveBudget(100);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+}
+
+TEST_F(PolicyTest, DeniedByBudget)
+{
+    XtaEntry *victim = install(0, 10, true, 1, 0); // cost = 2*8 = 16
+    giveBudget(10);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::DeniedByBudget);
+}
+
+TEST_F(PolicyTest, EqualBudgetIsDenied)
+{
+    // Figure 10: "higher or equal" net cost -> evict.
+    XtaEntry *victim = install(0, 10, true, kLps, kLps); // cost = 1
+    giveBudget(1);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::DeniedByBudget);
+}
+
+TEST_F(PolicyTest, MigrationConsumesBudget)
+{
+    XtaEntry *victim = install(0, 10, true, kLps, kLps); // cost = 1
+    giveBudget(10);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+    EXPECT_EQ(policy.budget(), 9u);
+}
+
+TEST_F(PolicyTest, BudgetResetsPeriodically)
+{
+    giveBudget(50);
+    policy.advanceTo(100 * 1000 * 313); // exactly one period
+    EXPECT_EQ(policy.budget(), 0u);
+}
+
+TEST_F(PolicyTest, BudgetAccumulatesWithinPeriod)
+{
+    giveBudget(50);
+    policy.advanceTo(100);
+    EXPECT_EQ(policy.budget(), 50u);
+}
+
+TEST_F(PolicyTest, MultiplePeriodsRolledForward)
+{
+    giveBudget(50);
+    policy.advanceTo(10 * 100 * 1000 * 313ull);
+    EXPECT_EQ(policy.budget(), 0u);
+    giveBudget(3);
+    policy.advanceTo(10 * 100 * 1000 * 313ull + 1);
+    EXPECT_EQ(policy.budget(), 3u);
+}
+
+TEST_F(PolicyTest, EmptySetVictimMigratesIfBudgetAllows)
+{
+    XtaEntry *victim = install(0, 0, true, kLps, kLps);
+    giveBudget(5);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+}
+
+TEST(MigrationPolicyDeath, NmSectorRejected)
+{
+    Xta xta(16, 4, kLps);
+    MigrationPolicy policy(511, 1000);
+    XtaEntry *e = xta.victimWay(0);
+    xta.fill(0, *e);
+    e->inFm = false;
+    EXPECT_DEATH(policy.decide(xta, 0, *e), "NM-resident");
+}
+
+} // namespace
+} // namespace h2::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for NM location bookkeeping and the FIFO victim scan
+ * (paper section 3.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/nm_allocator.h"
+
+namespace h2::core {
+namespace {
+
+TEST(NmAllocator, BootCarveOut)
+{
+    NmAllocator a(100, 10);
+    EXPECT_EQ(a.numLocs(), 100u);
+    EXPECT_EQ(a.poolSize(), 10u);
+    for (u64 i = 0; i < 10; ++i)
+        EXPECT_EQ(a.owner(i), NmAllocator::Owner::CachePool);
+    for (u64 i = 10; i < 100; ++i)
+        EXPECT_EQ(a.owner(i), NmAllocator::Owner::Flat);
+    EXPECT_EQ(a.flatCount(), 90u);
+}
+
+TEST(NmAllocator, PopPushPoolRoundTrip)
+{
+    NmAllocator a(100, 10);
+    u64 loc = a.popPool();
+    EXPECT_EQ(a.owner(loc), NmAllocator::Owner::CacheData);
+    EXPECT_EQ(a.poolSize(), 9u);
+    a.pushPool(loc);
+    EXPECT_EQ(a.owner(loc), NmAllocator::Owner::CachePool);
+    EXPECT_EQ(a.poolSize(), 10u);
+}
+
+TEST(NmAllocator, PopDrainsDistinctLocations)
+{
+    NmAllocator a(100, 10);
+    std::set<u64> locs;
+    while (!a.poolEmpty())
+        locs.insert(a.popPool());
+    EXPECT_EQ(locs.size(), 10u);
+}
+
+TEST(NmAllocator, VictimScanSkipsNonFlat)
+{
+    NmAllocator a(20, 5);
+    u64 probes = 0;
+    u64 victim = a.findVictim([](u64) { return false; },
+                              [&](u64) { ++probes; });
+    // The scan starts after the boot carve-out, so the first flat
+    // location wins immediately.
+    EXPECT_GE(victim, 5u);
+    EXPECT_EQ(a.owner(victim), NmAllocator::Owner::Flat);
+    EXPECT_EQ(probes, 1u);
+}
+
+TEST(NmAllocator, VictimScanSkipsPinned)
+{
+    NmAllocator a(20, 5);
+    // Pin the first three flat locations (as if their sectors were in
+    // the XTA).
+    std::set<u64> pinned = {5, 6, 7};
+    u64 victim = a.findVictim(
+        [&](u64 loc) { return pinned.count(loc) != 0; },
+        [](u64) {});
+    EXPECT_EQ(victim, 8u);
+    EXPECT_EQ(a.skips(), 3u);
+}
+
+TEST(NmAllocator, FifoAdvancesAcrossCalls)
+{
+    NmAllocator a(20, 5);
+    u64 v1 = a.findVictim([](u64) { return false; }, [](u64) {});
+    u64 v2 = a.findVictim([](u64) { return false; }, [](u64) {});
+    EXPECT_NE(v1, v2);
+    EXPECT_EQ(v2, v1 + 1);
+}
+
+TEST(NmAllocator, FifoWrapsAround)
+{
+    NmAllocator a(8, 2);
+    std::set<u64> seen;
+    for (int i = 0; i < 6; ++i)
+        seen.insert(a.findVictim([](u64) { return false; }, [](u64) {}));
+    EXPECT_EQ(seen.size(), 6u); // all flat locations visited once
+    // The next victim wraps back to the first flat location.
+    u64 again = a.findVictim([](u64) { return false; }, [](u64) {});
+    EXPECT_TRUE(seen.count(again));
+}
+
+TEST(NmAllocator, OwnerTransitions)
+{
+    NmAllocator a(20, 5);
+    u64 victim = a.findVictim([](u64) { return false; }, [](u64) {});
+    a.setOwner(victim, NmAllocator::Owner::CacheData);
+    EXPECT_EQ(a.owner(victim), NmAllocator::Owner::CacheData);
+    a.pushPool(victim);
+    EXPECT_EQ(a.owner(victim), NmAllocator::Owner::CachePool);
+}
+
+TEST(NmAllocatorDeath, PopEmptyPool)
+{
+    NmAllocator a(20, 1);
+    a.popPool();
+    EXPECT_DEATH(a.popPool(), "empty");
+}
+
+TEST(NmAllocatorDeath, PushNonCacheLocation)
+{
+    NmAllocator a(20, 5);
+    EXPECT_DEATH(a.pushPool(15), "non-cache");
+}
+
+TEST(NmAllocatorDeath, CacheConsumesWholeNm)
+{
+    EXPECT_DEATH(NmAllocator(10, 10), "whole NM");
+}
+
+TEST(NmAllocatorDeath, AllPinnedPanics)
+{
+    NmAllocator a(8, 2);
+    EXPECT_DEATH(a.findVictim([](u64) { return true; }, [](u64) {}),
+                 "no flat-resident");
+}
+
+} // namespace
+} // namespace h2::core

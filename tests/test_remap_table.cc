@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the remap / inverted remap tables (paper section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/remap_table.h"
+
+namespace h2::core {
+namespace {
+
+// Layout: 100 NM flat sectors, 20 cache sectors, 400 FM sectors.
+RemapTable
+makeTable()
+{
+    return RemapTable(500, 100, 20, 400);
+}
+
+TEST(RemapTable, IdentityDefaultsNmRegion)
+{
+    auto t = makeTable();
+    // Flat sector 0 lives right after the cache carve-out.
+    EXPECT_EQ(t.lookup(0), (Loc{true, 20}));
+    EXPECT_EQ(t.lookup(99), (Loc{true, 119}));
+}
+
+TEST(RemapTable, IdentityDefaultsFmRegion)
+{
+    auto t = makeTable();
+    EXPECT_EQ(t.lookup(100), (Loc{false, 0}));
+    EXPECT_EQ(t.lookup(499), (Loc{false, 399}));
+}
+
+TEST(RemapTable, UpdateOverridesIdentity)
+{
+    auto t = makeTable();
+    t.update(100, Loc{true, 5});
+    EXPECT_EQ(t.lookup(100), (Loc{true, 5}));
+    EXPECT_EQ(t.overrides(), 1u);
+    t.update(100, Loc{false, 17});
+    EXPECT_EQ(t.lookup(100), (Loc{false, 17}));
+}
+
+TEST(RemapTable, InvertedIdentity)
+{
+    auto t = makeTable();
+    // Cache-region locations start with no occupant.
+    EXPECT_FALSE(t.invLookup(0).has_value());
+    EXPECT_FALSE(t.invLookup(19).has_value());
+    // Flat-region locations hold their identity sector.
+    EXPECT_EQ(t.invLookup(20).value(), 0u);
+    EXPECT_EQ(t.invLookup(119).value(), 99u);
+}
+
+TEST(RemapTable, InvertedUpdateAndTombstone)
+{
+    auto t = makeTable();
+    t.invUpdate(5, 42u);
+    EXPECT_EQ(t.invLookup(5).value(), 42u);
+    t.invUpdate(5, std::nullopt);
+    EXPECT_FALSE(t.invLookup(5).has_value());
+    // Tombstoning a flat-region location masks the identity default.
+    t.invUpdate(20, std::nullopt);
+    EXPECT_FALSE(t.invLookup(20).has_value());
+}
+
+TEST(RemapTable, Accessors)
+{
+    auto t = makeTable();
+    EXPECT_EQ(t.flatSectors(), 500u);
+    EXPECT_EQ(t.nmFlatSectors(), 100u);
+    EXPECT_EQ(t.cacheSectors(), 20u);
+    EXPECT_EQ(t.fmSectors(), 400u);
+}
+
+TEST(RemapTable, ZeroCacheRegion)
+{
+    // The migration baselines reuse the table with no cache carve-out.
+    RemapTable t(500, 100, 0, 400);
+    EXPECT_EQ(t.lookup(0), (Loc{true, 0}));
+    EXPECT_EQ(t.invLookup(0).value(), 0u);
+}
+
+TEST(RemapTableDeath, LookupOutOfRange)
+{
+    auto t = makeTable();
+    EXPECT_DEATH(t.lookup(500), "out of range");
+}
+
+TEST(RemapTableDeath, UpdateBadFmLocation)
+{
+    auto t = makeTable();
+    EXPECT_DEATH(t.update(0, Loc{false, 400}), "bad FM location");
+}
+
+TEST(RemapTableDeath, InvLookupOutOfRange)
+{
+    auto t = makeTable();
+    EXPECT_DEATH(t.invLookup(120), "out of range");
+}
+
+TEST(RemapTableDeath, MismatchedSizes)
+{
+    EXPECT_DEATH(RemapTable(500, 99, 20, 400), "NM flat region");
+}
+
+TEST(RemapTable, RoundTripSwap)
+{
+    // Model a full swap: flat sector 0 (NM) <-> flat sector 100 (FM).
+    auto t = makeTable();
+    Loc nmHome = t.lookup(0);
+    Loc fmHome = t.lookup(100);
+    t.update(0, fmHome);
+    t.update(100, nmHome);
+    t.invUpdate(nmHome.idx, 100u);
+    EXPECT_EQ(t.lookup(0), fmHome);
+    EXPECT_EQ(t.lookup(100), nmHome);
+    EXPECT_EQ(t.invLookup(nmHome.idx).value(), 100u);
+}
+
+} // namespace
+} // namespace h2::core
