@@ -1,0 +1,155 @@
+/**
+ * @file
+ * h2sim: thin CLI around sim::Runner so the simulator is runnable
+ * end-to-end outside of the test and bench harnesses.
+ *
+ * Usage:
+ *   h2sim --design <spec> --workload <name> [options]
+ *   h2sim --list-workloads | --list-designs | --help
+ */
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "workloads/workload_registry.h"
+
+namespace {
+
+void printUsage(std::FILE *out)
+{
+    std::fputs(
+        "h2sim - Hybrid2 hybrid-memory simulator (HPCA'20 reproduction)\n"
+        "\n"
+        "Usage: h2sim --design <spec> --workload <name> [options]\n"
+        "\n"
+        "Options:\n"
+        "  --design <spec>      design spec (repeatable); see grammar below\n"
+        "  --workload <name>    workload from Table 2 (repeatable); see\n"
+        "                       --list-workloads\n"
+        "  --nm-mib <n>         near-memory (HBM) capacity in MiB [1024]\n"
+        "  --fm-mib <n>         far-memory (DDR) capacity in MiB [16384]\n"
+        "  --cores <n>          number of cores [8]\n"
+        "  --instr <n>          simulated instructions per core [1500000]\n"
+        "  --warmup <n>         warmup instructions per core [0]\n"
+        "  --seed <n>           trace-generation seed [42]\n"
+        "  --speedup            also print speedup over the FM-only baseline\n"
+        "  --list-workloads     list registered workloads and exit\n"
+        "  --list-designs       list the paper's evaluated design specs and exit\n"
+        "  -h, --help           show this help and exit\n"
+        "\n"
+        "Design spec grammar:\n"
+        "  baseline | hybrid2 | hybrid2:cacheonly|migrall|migrnone|noremap\n"
+        "  hybrid2:cache=<MiB>,sector=<B>,line=<B>\n"
+        "  ideal:<lineBytes> | tagless | dfc[:<lineBytes>]\n"
+        "  mempod | chameleon | lgm[:watermark=<n>]\n",
+        out);
+}
+
+h2::u64 parseU64(const char *flag, const char *value)
+{
+    h2::u64 v = 0;
+    const char *last = value + std::strlen(value);
+    auto [ptr, ec] = std::from_chars(value, last, v, 10);
+    if (ec != std::errc{} || ptr != last) {
+        std::fprintf(stderr,
+                     "h2sim: %s expects a non-negative integer, got '%s'\n",
+                     flag, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int main(int argc, char **argv)
+{
+    using namespace h2;
+
+    sim::RunConfig config;
+    std::vector<std::string> designs;
+    std::vector<std::string> workloadNames;
+    bool wantSpeedup = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "h2sim: %s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            printUsage(stdout);
+            return 0;
+        } else if (arg == "--list-workloads") {
+            for (const auto &w : workloads::allWorkloads())
+                std::printf("%-16s %-6s footprint=%llu MiB  paper-mpki=%.1f\n",
+                            w.name.c_str(), to_string(w.cls).c_str(),
+                            static_cast<unsigned long long>(w.footprintBytes >>
+                                                            20),
+                            w.paperMpki);
+            return 0;
+        } else if (arg == "--list-designs") {
+            for (const auto &d : sim::evaluatedDesigns())
+                std::printf("%s\n", d.c_str());
+            return 0;
+        } else if (arg == "--design") {
+            designs.emplace_back(next("--design"));
+        } else if (arg == "--workload") {
+            workloadNames.emplace_back(next("--workload"));
+        } else if (arg == "--nm-mib") {
+            config.nmBytes = parseU64("--nm-mib", next("--nm-mib")) << 20;
+        } else if (arg == "--fm-mib") {
+            config.fmBytes = parseU64("--fm-mib", next("--fm-mib")) << 20;
+        } else if (arg == "--cores") {
+            config.numCores =
+                static_cast<u32>(parseU64("--cores", next("--cores")));
+        } else if (arg == "--instr") {
+            config.instrPerCore = parseU64("--instr", next("--instr"));
+        } else if (arg == "--warmup") {
+            config.warmupInstrPerCore = parseU64("--warmup", next("--warmup"));
+        } else if (arg == "--seed") {
+            config.seed = parseU64("--seed", next("--seed"));
+        } else if (arg == "--speedup") {
+            wantSpeedup = true;
+        } else {
+            std::fprintf(stderr, "h2sim: unknown option '%s'\n", arg.c_str());
+            printUsage(stderr);
+            return 2;
+        }
+    }
+
+    if (designs.empty() || workloadNames.empty()) {
+        std::fprintf(stderr,
+                     "h2sim: need at least one --design and one --workload\n\n");
+        printUsage(stderr);
+        return 2;
+    }
+
+    try {
+        sim::Runner runner(config);
+        for (const auto &name : workloadNames) {
+            const workloads::Workload &workload =
+                workloads::findWorkload(name);
+            for (const auto &design : designs) {
+                const sim::Metrics &m = runner.run(workload, design);
+                std::printf("%s", m.toString().c_str());
+                if (wantSpeedup)
+                    std::printf("speedup_vs_baseline: %.4f\n",
+                                runner.speedup(workload, design));
+                std::printf("\n");
+            }
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "h2sim: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "sim/runner.h"
 
+#include <algorithm>
+#include <charconv>
 #include <sstream>
 #include <vector>
 
@@ -40,6 +42,36 @@ keyValue(const std::string &token)
     return {token.substr(0, eq), token.substr(eq + 1)};
 }
 
+/** Parse a decimal integer option; fatal (not a crash) on garbage. */
+u64
+parseNum(const std::string &what, const std::string &value)
+{
+    u64 v = 0;
+    auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), v, 10);
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+        h2_fatal("bad value for ", what, ": '", value,
+                 "' (expected a decimal integer)");
+    return v;
+}
+
+/** Parse a decimal number option allowing a fractional part. */
+double
+parseFloat(const std::string &what, const std::string &value)
+{
+    // Digits with at most one dot, and at least one digit somewhere.
+    if (value.find_first_not_of("0123456789.") != std::string::npos ||
+        std::count(value.begin(), value.end(), '.') > 1 ||
+        value.find_first_of("0123456789") == std::string::npos)
+        h2_fatal("bad value for ", what, ": '", value,
+                 "' (expected a decimal number)");
+    try {
+        return std::stod(value);
+    } catch (const std::out_of_range &) {
+        h2_fatal("bad value for ", what, ": '", value, "' (out of range)");
+    }
+}
+
 std::unique_ptr<mem::HybridMemory>
 makeHybrid2(const std::string &opts, const mem::MemSystemParams &memParams)
 {
@@ -56,14 +88,15 @@ makeHybrid2(const std::string &opts, const mem::MemSystemParams &memParams)
         } else if (key == "noremap") {
             p.freeRemap = true;
         } else if (key == "cache") {
-            p.cacheBytes = std::stoull(value) * MiB;
+            p.cacheBytes = parseNum("hybrid2 cache MiB", value) * MiB;
         } else if (key == "sector") {
-            p.sectorBytes = static_cast<u32>(std::stoul(value));
+            p.sectorBytes = static_cast<u32>(parseNum("hybrid2 sector", value));
         } else if (key == "line") {
-            p.lineBytes = static_cast<u32>(std::stoul(value));
+            p.lineBytes = static_cast<u32>(parseNum("hybrid2 line", value));
         } else if (key == "unused") {
             // Section 3.8 extension: percentage of OS-unused sectors.
-            p.unusedSectorFraction = std::stod(value) / 100.0;
+            p.unusedSectorFraction =
+                parseFloat("hybrid2 unused %", value) / 100.0;
         } else {
             h2_fatal("unknown hybrid2 option: ", key);
         }
@@ -88,14 +121,18 @@ makeDesign(const std::string &spec, const mem::MemSystemParams &memParams,
         return makeHybrid2(opts, memParams);
     if (head == "ideal") {
         baselines::DramCacheParams p;
-        p.lineBytes = opts.empty() ? 256 : std::stoul(opts);
+        p.lineBytes = opts.empty()
+                          ? 256
+                          : static_cast<u32>(parseNum("ideal line", opts));
         return std::make_unique<baselines::IdealCache>(
             memParams, p, "IDEAL-" + std::to_string(p.lineBytes));
     }
     if (head == "tagless")
         return std::make_unique<baselines::TaglessCache>(memParams);
     if (head == "dfc") {
-        u32 line = opts.empty() ? 1024 : std::stoul(opts);
+        u32 line = opts.empty()
+                       ? 1024
+                       : static_cast<u32>(parseNum("dfc line", opts));
         return std::make_unique<baselines::DfcCache>(memParams, line);
     }
     if (head == "mempod")
@@ -107,7 +144,8 @@ makeDesign(const std::string &spec, const mem::MemSystemParams &memParams,
         for (const auto &token : splitOn(opts, ',')) {
             auto [key, value] = keyValue(token);
             if (key == "watermark")
-                p.watermark = static_cast<u32>(std::stoul(value));
+                p.watermark =
+                    static_cast<u32>(parseNum("lgm watermark", value));
             else
                 h2_fatal("unknown lgm option: ", key);
         }
