@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <string_view>
 
 #include "common/log.h"
+#include "common/parse.h"
 
 namespace h2::bench {
 
@@ -15,7 +17,7 @@ BenchOptions::parse(int argc, char **argv)
     if (const char *env = std::getenv("HYBRID2_BENCH_MODE"))
         opts.full = std::string(env) == "full";
     for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
+        std::string_view arg = argv[i];
         if (arg == "--mode=full")
             opts.full = true;
         else if (arg == "--mode=quick")
@@ -23,10 +25,16 @@ BenchOptions::parse(int argc, char **argv)
         else if (arg == "--csv")
             opts.csv = true;
         else if (arg.rfind("--instr=", 0) == 0)
-            opts.instrPerCore = std::stoull(arg.substr(8));
+            opts.instrPerCore = parseU64OrFatal("--instr", arg.substr(8));
+        else if (arg.rfind("--jobs=", 0) == 0)
+            opts.jobs = static_cast<u32>(
+                parseU64OrFatal("--jobs", arg.substr(7)));
+        else if (arg.rfind("--out=", 0) == 0)
+            opts.jsonOut = std::string(arg.substr(6));
         else
             h2_fatal("unknown bench option: ", arg,
-                     " (use --mode=quick|full, --csv, --instr=N)");
+                     " (use --mode=quick|full, --csv, --instr=N, "
+                     "--jobs=N, --out=PATH)");
     }
     return opts;
 }
@@ -92,9 +100,10 @@ banner(const std::string &title, const std::string &paperRef,
         return;
     std::printf("== %s ==\n", title.c_str());
     std::printf("reproduces: %s (Hybrid2, HPCA 2020)\n", paperRef.c_str());
-    std::printf("mode: %s (%llu instructions/core)\n\n",
+    std::printf("mode: %s (%llu instructions/core), jobs: %u\n\n",
                 opts.full ? "full" : "quick",
-                (unsigned long long)opts.effectiveInstrPerCore());
+                (unsigned long long)opts.effectiveInstrPerCore(),
+                opts.jobs ? opts.jobs : ThreadPool::defaultConcurrency());
 }
 
 ClassGeomeans

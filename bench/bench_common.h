@@ -9,6 +9,10 @@
  *                       numbers recorded in EXPERIMENTS.md.
  *   --csv               machine-readable output
  *   --instr=<n>         override instructions per core
+ *   --jobs=<n>          parallel simulations (0 = all hardware threads;
+ *                       the default). Results are bit-identical at any
+ *                       job count - see sim::SweepRunner.
+ *   --out=<path>        where benches that emit JSON write it
  */
 
 #ifndef H2_BENCH_BENCH_COMMON_H
@@ -17,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/runner.h"
+#include "sim/sweep_runner.h"
 #include "workloads/workload_registry.h"
 
 namespace h2::bench {
@@ -27,6 +31,8 @@ struct BenchOptions
     bool full = false;
     bool csv = false;
     u64 instrPerCore = 0; ///< 0 = pick by mode
+    u32 jobs = 0;         ///< 0 = all hardware threads
+    std::string jsonOut;  ///< --out=<path> for JSON-emitting benches
 
     static BenchOptions parse(int argc, char **argv);
 
@@ -54,6 +60,14 @@ struct BenchOptions
         // paper's SimPoint-sliced methodology.
         cfg.warmupInstrPerCore = effectiveInstrPerCore();
         return cfg;
+    }
+
+    /** Sweep runner over @p nmBytes of NM with the --jobs worker count.
+     *  Benches submit their whole sweep up front, then render. */
+    sim::SweepRunner
+    makeRunner(u64 nmBytes) const
+    {
+        return sim::SweepRunner(runConfig(nmBytes), jobs);
     }
 };
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Self-timing wall-clock benchmark of the sweep engine.
+ *
+ * Runs a fixed (workload x design) sweep twice - serial (--jobs=1) and
+ * parallel (the --jobs option, default 8) - verifies the two passes
+ * produced bit-identical per-simulation Metrics, and emits a JSON
+ * record (sims/sec, accesses/sec, parallel speedup) that seeds the
+ * repo's performance trajectory: each perf PR re-runs this and appends
+ * a point, so regressions show up as numbers, not vibes.
+ *
+ * Options (see bench_common.h): --mode, --instr=N, --jobs=N,
+ * --out=PATH (default BENCH_wallclock.json), --csv (emit the JSON on
+ * stdout instead of the human-readable summary). Exits non-zero if the
+ * parallel pass is not bit-identical.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "common/log.h"
+#include "common/units.h"
+
+namespace {
+
+using namespace h2;
+
+struct PassResult
+{
+    u32 jobs = 0;
+    double seconds = 0.0;
+    u64 sims = 0;
+    u64 accesses = 0;
+    std::map<std::string, sim::Metrics> results;
+
+    double simsPerSec() const { return sims / seconds; }
+    double accessesPerSec() const { return accesses / seconds; }
+};
+
+PassResult
+runPass(const bench::BenchOptions &opts, u32 jobs)
+{
+    auto start = std::chrono::steady_clock::now();
+    sim::SweepRunner runner(opts.runConfig(1 * GiB), jobs);
+    runner.submitSweep(opts.suite(), sim::evaluatedDesigns(),
+                       /*withBaseline=*/true);
+    runner.waitAll();
+    auto end = std::chrono::steady_clock::now();
+
+    PassResult pass;
+    pass.jobs = runner.jobs();
+    pass.seconds = std::chrono::duration<double>(end - start).count();
+    pass.results = runner.results();
+    pass.sims = pass.results.size();
+    pass.accesses = runner.totalAccesses();
+    return pass;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2;
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    // Resolve the parallel job count before the banner so the header
+    // reports what the timed pass actually uses (default 8, not the
+    // hardware-concurrency fallback other benches get for jobs=0).
+    if (!opts.jobs)
+        opts.jobs = 8;
+    bench::banner("Wall-clock: sweep engine throughput",
+                  "perf trajectory (no paper figure)", opts);
+    setLogQuiet(true);
+
+    PassResult serial = runPass(opts, 1);
+    PassResult parallel = runPass(opts, opts.jobs);
+
+    bool identical = serial.results == parallel.results;
+    double speedup = serial.seconds / parallel.seconds;
+
+    char json[1024];
+    std::snprintf(
+        json, sizeof(json),
+        "{\n"
+        "  \"bench\": \"wallclock\",\n"
+        "  \"mode\": \"%s\",\n"
+        "  \"instr_per_core\": %llu,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"sims\": %llu,\n"
+        "  \"accesses_per_pass\": %llu,\n"
+        "  \"serial\": {\"jobs\": 1, \"seconds\": %.3f, "
+        "\"sims_per_sec\": %.3f, \"accesses_per_sec\": %.0f},\n"
+        "  \"parallel\": {\"jobs\": %u, \"seconds\": %.3f, "
+        "\"sims_per_sec\": %.3f, \"accesses_per_sec\": %.0f},\n"
+        "  \"parallel_speedup\": %.3f,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        opts.full ? "full" : "quick",
+        (unsigned long long)opts.effectiveInstrPerCore(),
+        ThreadPool::defaultConcurrency(),
+        (unsigned long long)serial.sims,
+        (unsigned long long)serial.accesses, serial.seconds,
+        serial.simsPerSec(), serial.accessesPerSec(), parallel.jobs,
+        parallel.seconds, parallel.simsPerSec(),
+        parallel.accessesPerSec(), speedup, identical ? "true" : "false");
+
+    const std::string outPath =
+        opts.jsonOut.empty() ? "BENCH_wallclock.json" : opts.jsonOut;
+    std::FILE *out = std::fopen(outPath.c_str(), "w");
+    if (!out)
+        h2_fatal("cannot write ", outPath);
+    std::fputs(json, out);
+    std::fclose(out);
+
+    if (opts.csv) {
+        std::fputs(json, stdout);
+    } else {
+        std::printf("sweep: %llu sims, %llu core accesses per pass\n",
+                    (unsigned long long)serial.sims,
+                    (unsigned long long)serial.accesses);
+        std::printf("jobs=1:  %7.2fs  %6.2f sims/s  %.2e accesses/s\n",
+                    serial.seconds, serial.simsPerSec(),
+                    serial.accessesPerSec());
+        std::printf("jobs=%-2u: %7.2fs  %6.2f sims/s  %.2e accesses/s\n",
+                    parallel.jobs, parallel.seconds,
+                    parallel.simsPerSec(), parallel.accessesPerSec());
+        std::printf("parallel speedup: %.2fx (on %u hardware threads)\n",
+                    speedup, ThreadPool::defaultConcurrency());
+        std::printf("bit-identical results: %s\n",
+                    identical ? "yes" : "NO - DETERMINISM BUG");
+        std::printf("wrote %s\n", outPath.c_str());
+    }
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "bench_wallclock: parallel pass diverged from "
+                     "serial pass\n");
+        return 1;
+    }
+    return 0;
+}

@@ -23,7 +23,11 @@ main(int argc, char **argv)
     const double paper[] = {0, 6, 10, 15, 19, 22, 26};
     bench::Table table({"LineSize", "Wasted%(paper)", "Wasted%(sim)"},
                        opts.csv);
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
+    std::vector<std::string> specs;
+    for (u32 line : {64, 128, 256, 512, 1024, 2048, 4096})
+        specs.push_back("ideal:" + std::to_string(line));
+    runner.submitSweep(opts.suite(), specs);
     int i = 0;
     for (u32 line : {64, 128, 256, 512, 1024, 2048, 4096}) {
         std::vector<double> wasted;

@@ -33,7 +33,13 @@ main(int argc, char **argv)
         {"ideal:2048", 1.58}, {"ideal:4096", 1.42},
     };
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
+    {
+        std::vector<std::string> specs;
+        for (const auto &[spec, paperGeo] : designs)
+            specs.push_back(spec);
+        runner.submitSweep(opts.suite(), specs, /*withBaseline=*/true);
+    }
     bench::Table table({"Design", "Min", "Max", "Geomean",
                         "Geomean(paper)"},
                        opts.csv);

@@ -21,28 +21,44 @@ main(int argc, char **argv)
                   "Figure 11", opts);
     setLogQuiet(true);
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
-    bench::Table table({"Cache", "Sector", "Line", "XTA(KiB)", "Geomean"},
-                       opts.csv);
+    // One design-point list drives both the up-front sweep submission
+    // and the rendering loop, so the two can never drift apart.
+    struct Point
+    {
+        u64 cacheMb;
+        u32 sector;
+        u32 line;
+        std::string spec;
+    };
+    std::vector<Point> points;
+    std::vector<std::string> specs;
     for (u64 cacheMb : {64, 128}) {
         for (u32 sector : {2048u, 4096u}) {
             for (u32 line : {64u, 128u, 256u, 512u}) {
-                core::Xta xta(cacheMb * MiB / sector, 16, sector / line);
-                double xtaKib = double(xta.storageBytes()) / KiB;
                 std::string spec = "hybrid2:cache=" +
                     std::to_string(cacheMb) + ",sector=" +
                     std::to_string(sector) + ",line=" +
                     std::to_string(line);
-                std::vector<double> speedups;
-                for (const auto &w : opts.suite())
-                    speedups.push_back(runner.speedup(w, spec));
-                table.addRow({std::to_string(cacheMb) + "MiB",
-                              std::to_string(sector),
-                              std::to_string(line),
-                              bench::fmt(xtaKib, 0),
-                              bench::fmt(geomean(speedups))});
+                points.push_back({cacheMb, sector, line, spec});
+                specs.push_back(spec);
             }
         }
+    }
+
+    auto runner = opts.makeRunner(1 * GiB);
+    runner.submitSweep(opts.suite(), specs, /*withBaseline=*/true);
+    bench::Table table({"Cache", "Sector", "Line", "XTA(KiB)", "Geomean"},
+                       opts.csv);
+    for (const auto &p : points) {
+        core::Xta xta(p.cacheMb * MiB / p.sector, 16, p.sector / p.line);
+        double xtaKib = double(xta.storageBytes()) / KiB;
+        std::vector<double> speedups;
+        for (const auto &w : opts.suite())
+            speedups.push_back(runner.speedup(w, p.spec));
+        table.addRow({std::to_string(p.cacheMb) + "MiB",
+                      std::to_string(p.sector), std::to_string(p.line),
+                      bench::fmt(xtaKib, 0),
+                      bench::fmt(geomean(speedups))});
     }
     table.print();
     std::printf("\npaper best: 64MiB cache, 2048B sectors, 256B lines "

@@ -24,7 +24,9 @@ main(int argc, char **argv)
     setLogQuiet(true);
 
     for (u64 nmGb : {1, 2, 4}) {
-        sim::Runner runner(opts.runConfig(nmGb * GiB));
+        auto runner = opts.makeRunner(nmGb * GiB);
+        runner.submitSweep(opts.suite(), sim::evaluatedDesigns(),
+                           /*withBaseline=*/true);
         // Available-memory advantage over cache designs (paper caption).
         core::Hybrid2Params hp;
         mem::MemSystemParams mp;

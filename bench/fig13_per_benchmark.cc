@@ -19,7 +19,9 @@ main(int argc, char **argv)
                   opts);
     setLogQuiet(true);
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
+    runner.submitSweep(opts.suite(), sim::evaluatedDesigns(),
+                       /*withBaseline=*/true);
     std::vector<std::string> cols = {"Benchmark"};
     for (const auto &spec : sim::evaluatedDesigns())
         cols.push_back(spec);

@@ -28,7 +28,13 @@ main(int argc, char **argv)
         {"Hybrid2", "hybrid2", 1.54},
     };
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
+    {
+        std::vector<std::string> specs;
+        for (const auto &[name, spec, paper] : variants)
+            specs.push_back(spec);
+        runner.submitSweep(opts.suite(), specs, /*withBaseline=*/true);
+    }
     bench::Table table({"Variant", "Geomean", "Geomean(paper)"},
                        opts.csv);
     for (const auto &[name, spec, paper] : variants) {

@@ -20,10 +20,11 @@ main(int argc, char **argv)
                   "Figure 15", opts);
     setLogQuiet(true);
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
     bench::Table table({"Design", "High%", "Medium%", "Low%", "All%"},
                        opts.csv);
     auto suite = opts.suite();
+    runner.submitSweep(suite, sim::evaluatedDesigns());
     for (const auto &spec : sim::evaluatedDesigns()) {
         auto g = bench::geomeansByClass(suite, [&](const auto &w) {
             // Clamp away zeros so the geomean (paper's aggregate) is

@@ -20,10 +20,12 @@ main(int argc, char **argv)
                   opts);
     setLogQuiet(true);
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
     bench::Table table({"Design", "High", "Medium", "Low", "All"},
                        opts.csv);
     auto suite = opts.suite();
+    runner.submitSweep(suite, sim::evaluatedDesigns(),
+                       /*withBaseline=*/true);
     for (const auto &spec : sim::evaluatedDesigns()) {
         auto g = bench::geomeansByClass(suite, [&](const auto &w) {
             double base = double(runner.run(w, "baseline").fmTrafficBytes);

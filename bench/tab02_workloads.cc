@@ -18,7 +18,8 @@ main(int argc, char **argv)
     bench::banner("Table 2: benchmark characteristics", "Table 2", opts);
     setLogQuiet(true);
 
-    sim::Runner runner(opts.runConfig(1 * GiB));
+    auto runner = opts.makeRunner(1 * GiB);
+    runner.submitSweep(opts.suite(), {}, /*withBaseline=*/true);
     bench::Table table({"Benchmark", "Class", "Type", "MPKI(paper)",
                         "MPKI(sim)", "Footprint(GB)", "Traffic(GB/Binstr)"},
                        opts.csv);

@@ -249,6 +249,18 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
 }
 
 void
+Chameleon::resetStats()
+{
+    mem::HybridMemory::resetStats();
+    remapCache.resetStats();
+    nSwaps = 0;
+    nCacheModeHits = 0;
+    nCacheModeFills = 0;
+    nMetaReads = 0;
+    nMetaWrites = 0;
+}
+
+void
 Chameleon::collectStats(StatSet &out) const
 {
     mem::HybridMemory::collectStats(out);

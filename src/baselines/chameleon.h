@@ -55,6 +55,7 @@ class Chameleon : public mem::HybridMemory
     std::string name() const override { return "CHA"; }
     u64 flatCapacity() const override;
     void collectStats(StatSet &out) const override;
+    void resetStats() override;
 
     u64 swaps() const { return nSwaps; }
 

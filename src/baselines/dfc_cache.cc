@@ -59,6 +59,15 @@ DfcCache::onFill(Addr, Tick now)
 }
 
 void
+DfcCache::resetStats()
+{
+    IdealCache::resetStats();
+    tagCache.resetStats();
+    tagReads = 0;
+    tagWrites = 0;
+}
+
+void
 DfcCache::collectStats(StatSet &out) const
 {
     IdealCache::collectStats(out);

@@ -24,6 +24,7 @@ class DfcCache : public IdealCache
     DfcCache(const mem::MemSystemParams &sysParams, u32 lineBytes = 1024);
 
     void collectStats(StatSet &out) const override;
+    void resetStats() override;
 
     u64 tagCacheHits() const { return tagCache.hits(); }
     u64 tagCacheMisses() const { return tagCache.misses(); }

@@ -134,6 +134,18 @@ IdealCache::wastedFetchFraction() const
 }
 
 void
+IdealCache::resetStats()
+{
+    mem::HybridMemory::resetStats();
+    nHits = 0;
+    nFills = 0;
+    fetchedBlocks = 0;
+    wastedBlocks = 0;
+    evictedLines = 0;
+    tags.resetStats();
+}
+
+void
 IdealCache::collectStats(StatSet &out) const
 {
     mem::HybridMemory::collectStats(out);

@@ -40,6 +40,7 @@ class IdealCache : public mem::HybridMemory
     std::string name() const override { return label; }
     u64 flatCapacity() const override { return sys.fmBytes; }
     void collectStats(StatSet &out) const override;
+    void resetStats() override;
 
     const DramCacheParams &cacheParams() const { return cp; }
 

@@ -129,6 +129,18 @@ Lgm::access(Addr addr, AccessType type, Tick now)
 }
 
 void
+Lgm::resetStats()
+{
+    mem::HybridMemory::resetStats();
+    remapCache.resetStats();
+    nMigrations = 0;
+    nIntervals = 0;
+    nLlcLinesSkipped = 0;
+    nMetaReads = 0;
+    nMetaWrites = 0;
+}
+
+void
 Lgm::collectStats(StatSet &out) const
 {
     mem::HybridMemory::collectStats(out);

@@ -44,6 +44,7 @@ class Lgm : public mem::HybridMemory
     std::string name() const override { return "LGM"; }
     u64 flatCapacity() const override { return sys.nmBytes + sys.fmBytes; }
     void collectStats(StatSet &out) const override;
+    void resetStats() override;
 
     u64 migrations() const { return nMigrations; }
     u64 llcLinesSkipped() const { return nLlcLinesSkipped; }

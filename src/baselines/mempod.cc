@@ -137,6 +137,17 @@ MemPod::checkInvariants() const
 }
 
 void
+MemPod::resetStats()
+{
+    mem::HybridMemory::resetStats();
+    remapCache.resetStats();
+    nMigrations = 0;
+    nIntervals = 0;
+    nMetaReads = 0;
+    nMetaWrites = 0;
+}
+
+void
 MemPod::collectStats(StatSet &out) const
 {
     mem::HybridMemory::collectStats(out);

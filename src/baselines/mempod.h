@@ -53,6 +53,7 @@ class MemPod : public mem::HybridMemory
     std::string name() const override { return "MPOD"; }
     u64 flatCapacity() const override { return sys.nmBytes + sys.fmBytes; }
     void collectStats(StatSet &out) const override;
+    void resetStats() override;
     void checkInvariants() const override;
 
     u64 migrations() const { return nMigrations; }

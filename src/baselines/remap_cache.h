@@ -37,6 +37,9 @@ class RemapCache
     u64 hits() const { return tags.hits(); }
     u64 misses() const { return tags.misses(); }
 
+    /** Zero hit/miss counters after warm-up; contents are kept. */
+    void resetStats() { tags.resetStats(); }
+
   private:
     cache::SetAssocCache tags;
 };

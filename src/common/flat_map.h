@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Open-addressed hash table from u64 keys to small values.
+ *
+ * The remap / inverted-remap tables sit on the per-access hot path and
+ * were the last remaining users of std::unordered_map there. This table
+ * replaces them: one flat slot array, power-of-two capacity, SplitMix64
+ * hashing with linear probing, no per-node allocation, and no erase
+ * support (the remap tables only ever insert or overwrite).
+ *
+ * The all-ones key is reserved as the empty-slot sentinel; callers index
+ * sectors/locations, which are always far below 2^64 - 1.
+ */
+
+#ifndef H2_COMMON_FLAT_MAP_H
+#define H2_COMMON_FLAT_MAP_H
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace h2 {
+
+template <typename V>
+class FlatMap64
+{
+  public:
+    /** @param expectedEntries sizing hint; the table grows as needed. */
+    explicit FlatMap64(u64 expectedEntries = 0)
+    {
+        slots.resize(capacityFor(expectedEntries));
+    }
+
+    /** Pointer to @p key's value, or nullptr when absent. */
+    const V *
+    find(u64 key) const
+    {
+        const Slot &s = slots[probe(key)];
+        return s.key == key ? &s.value : nullptr;
+    }
+
+    V *
+    find(u64 key)
+    {
+        Slot &s = slots[probe(key)];
+        return s.key == key ? &s.value : nullptr;
+    }
+
+    /** Insert @p key or overwrite its existing value. */
+    void
+    set(u64 key, V value)
+    {
+        Slot *s = &slots[probe(key)];
+        if (s->key == kEmpty) {
+            if ((count + 1) * 10 > slots.size() * 7) {
+                grow();
+                s = &slots[probe(key)];
+            }
+            s->key = key;
+            ++count;
+        }
+        s->value = std::move(value);
+    }
+
+    u64 size() const { return count; }
+    u64 capacity() const { return slots.size(); }
+
+  private:
+    struct Slot
+    {
+        u64 key = kEmpty;
+        V value{};
+    };
+
+    static constexpr u64 kEmpty = ~u64(0);
+
+    static u64
+    capacityFor(u64 expected)
+    {
+        // Headroom for a <=70% load factor, capped so sparse use of a
+        // huge domain (all-to-all remap tables) stays cheap; the table
+        // doubles on demand past the cap.
+        u64 want = expected + expected / 2 + 1;
+        want = std::min<u64>(want, u64(1) << 16);
+        u64 cap = 16;
+        while (cap < want)
+            cap <<= 1;
+        return cap;
+    }
+
+    /** Index of @p key's slot, or of the empty slot where it would go. */
+    u64
+    probe(u64 key) const
+    {
+        // Without this, find(kEmpty) would "hit" an empty slot.
+        h2_assert(key != kEmpty, "FlatMap64 key reserved for empty slots");
+        u64 mask = slots.size() - 1;
+        u64 idx = splitmix64(key) & mask;
+        while (slots[idx].key != key && slots[idx].key != kEmpty)
+            idx = (idx + 1) & mask;
+        return idx;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.clear();
+        slots.resize(old.size() * 2);
+        for (Slot &s : old) {
+            if (s.key == kEmpty)
+                continue;
+            Slot &fresh = slots[probe(s.key)];
+            fresh.key = s.key;
+            fresh.value = std::move(s.value);
+        }
+    }
+
+    std::vector<Slot> slots;
+    u64 count = 0;
+};
+
+} // namespace h2
+
+#endif // H2_COMMON_FLAT_MAP_H

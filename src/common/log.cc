@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -7,19 +8,20 @@
 namespace h2 {
 
 namespace {
-bool quietFlag = false;
+// Atomic: sweep workers may warn while the main thread configures.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void
 setLogQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 logQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared numeric option parsing: locale-independent, fatal (not an
+ * uncaught exception) on garbage. Used by the design-spec grammar and
+ * the bench option parser.
+ */
+
+#ifndef H2_COMMON_PARSE_H
+#define H2_COMMON_PARSE_H
+
+#include <charconv>
+#include <string_view>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace h2 {
+
+/** Parse @p value as a decimal u64; h2_fatal on garbage, naming
+ *  @p what in the error. */
+inline u64
+parseU64OrFatal(std::string_view what, std::string_view value)
+{
+    u64 v = 0;
+    auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), v, 10);
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+        h2_fatal("bad value for ", what, ": '", value,
+                 "' (expected a decimal integer)");
+    return v;
+}
+
+} // namespace h2
+
+#endif // H2_COMMON_PARSE_H

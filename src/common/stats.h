@@ -94,6 +94,8 @@ class StatSet
     const std::map<std::string, double> &entries() const { return vals; }
     std::string toString() const;
 
+    bool operator==(const StatSet &) const = default;
+
   private:
     std::map<std::string, double> vals;
 };

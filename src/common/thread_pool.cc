@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include "common/log.h"
+
+namespace h2 {
+
+ThreadPool::ThreadPool(u32 numThreads)
+{
+    h2_assert(numThreads >= 1, "thread pool needs at least one worker");
+    workers.reserve(numThreads);
+    for (u32 i = 0; i < numThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mu);
+        stopping = true;
+    }
+    taskCv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    h2_assert(task, "empty task submitted");
+    {
+        std::unique_lock lock(mu);
+        h2_assert(!stopping, "submit after shutdown");
+        queue.push_back(std::move(task));
+    }
+    taskCv.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock lock(mu);
+    idleCv.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+u32
+ThreadPool::defaultConcurrency()
+{
+    u32 hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock lock(mu);
+    while (true) {
+        taskCv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty())
+            return; // stopping and drained
+        std::function<void()> task = std::move(queue.front());
+        queue.pop_front();
+        ++active;
+        lock.unlock();
+        task();
+        lock.lock();
+        --active;
+        if (queue.empty() && active == 0)
+            idleCv.notify_all();
+    }
+}
+
+} // namespace h2

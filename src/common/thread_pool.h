@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A minimal fixed-size worker pool for dispatching independent jobs.
+ *
+ * Used by sim::SweepRunner to run (workload, design) simulations in
+ * parallel. Tasks are opaque callables; ordering guarantees are the
+ * caller's responsibility (the sweep runner keys results by name, so
+ * completion order never matters).
+ */
+
+#ifndef H2_COMMON_THREAD_POOL_H
+#define H2_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p numThreads workers; must be at least 1. */
+    explicit ThreadPool(u32 numThreads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void drain();
+
+    u32 size() const { return static_cast<u32>(workers.size()); }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static u32 defaultConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable taskCv; ///< work available or stopping
+    std::condition_variable idleCv; ///< queue empty and workers idle
+    u32 active = 0;
+    bool stopping = false;
+};
+
+} // namespace h2
+
+#endif // H2_COMMON_THREAD_POOL_H

@@ -437,6 +437,30 @@ Dcmc::checkInvariants() const
 }
 
 void
+Dcmc::resetStats()
+{
+    // Measured counters restart after warm-up; cache/remap/allocator
+    // state (and the LRU clock) deliberately survives the reset.
+    mem::HybridMemory::resetStats();
+    tags.resetStats();
+    bytes = DcmcTraffic{};
+    nLineHits = 0;
+    nLineMisses = 0;
+    nMissSectorNm = 0;
+    nMissSectorFm = 0;
+    nMigrations = 0;
+    nEvictionsToFm = 0;
+    nReassignedNm = 0;
+    nSwapOuts = 0;
+    nDeniedByCounter = 0;
+    nDeniedByBudget = 0;
+    nMetaReads = 0;
+    nMetaWrites = 0;
+    nMetaSkipped = 0;
+    nFreeSwapOuts = 0;
+}
+
+void
 Dcmc::collectStats(StatSet &out) const
 {
     mem::HybridMemory::collectStats(out);

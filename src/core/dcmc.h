@@ -69,6 +69,7 @@ class Dcmc : public mem::HybridMemory
     u64 flatCapacity() const override;
     void checkInvariants() const override;
     void collectStats(StatSet &out) const override;
+    void resetStats() override;
 
     // --- Introspection (tests, examples) -----------------------------
     const Hybrid2Params &params() const { return cfg; }

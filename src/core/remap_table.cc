@@ -7,7 +7,8 @@ namespace h2::core {
 RemapTable::RemapTable(u64 flatSectors, u64 nmFlatSectors, u64 cacheSectors,
                        u64 fmSectors)
     : nFlat(flatSectors), nNmFlat(nmFlatSectors), nCache(cacheSectors),
-      nFm(fmSectors)
+      nFm(fmSectors), remapOverride(cacheSectors + nmFlatSectors),
+      invOverride(cacheSectors + nmFlatSectors)
 {
     h2_assert(nFlat == nNmFlat + nFm,
               "flat space must be NM flat region + FM");
@@ -17,9 +18,8 @@ Loc
 RemapTable::lookup(u64 flatSector) const
 {
     h2_assert(flatSector < nFlat, "remap lookup out of range: ", flatSector);
-    auto it = remapOverride.find(flatSector);
-    if (it != remapOverride.end())
-        return it->second;
+    if (const Loc *loc = remapOverride.find(flatSector))
+        return *loc;
     if (flatSector < nNmFlat)
         return Loc{true, nCache + flatSector};
     return Loc{false, flatSector - nNmFlat};
@@ -34,16 +34,15 @@ RemapTable::update(u64 flatSector, Loc loc)
                   "remap to bad NM location ", loc.idx);
     else
         h2_assert(loc.idx < nFm, "remap to bad FM location ", loc.idx);
-    remapOverride[flatSector] = loc;
+    remapOverride.set(flatSector, loc);
 }
 
 std::optional<u64>
 RemapTable::invLookup(u64 nmLoc) const
 {
     h2_assert(nmLoc < nCache + nNmFlat, "invLookup out of range: ", nmLoc);
-    auto it = invOverride.find(nmLoc);
-    if (it != invOverride.end())
-        return it->second;
+    if (const std::optional<u64> *sector = invOverride.find(nmLoc))
+        return *sector;
     if (nmLoc >= nCache)
         return nmLoc - nCache;
     return std::nullopt;
@@ -55,7 +54,7 @@ RemapTable::invUpdate(u64 nmLoc, std::optional<u64> flatSector)
     h2_assert(nmLoc < nCache + nNmFlat, "invUpdate out of range");
     if (flatSector)
         h2_assert(*flatSector < nFlat, "invUpdate to bad flat sector");
-    invOverride[nmLoc] = flatSector;
+    invOverride.set(nmLoc, flatSector);
 }
 
 } // namespace h2::core

@@ -18,8 +18,8 @@
 #define H2_CORE_REMAP_TABLE_H
 
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace h2::core {
@@ -74,10 +74,14 @@ class RemapTable
     u64 nNmFlat;
     u64 nCache;
     u64 nFm;
-    std::unordered_map<u64, Loc> remapOverride;
-    /** value = resident flat sector; nullopt encoded via presence of
-     *  tombstone map entry `empty`. */
-    std::unordered_map<u64, std::optional<u64>> invOverride;
+    /** Sparse overrides of the identity layout, keyed by flat sector /
+     *  NM location. Open-addressed flat tables (see common/flat_map.h)
+     *  sized to the NM sector count: migrations churn at NM scale, so
+     *  that is the steady-state override population. */
+    FlatMap64<Loc> remapOverride;
+    /** value = resident flat sector; nullopt stored explicitly so a
+     *  tombstone masks the identity default. */
+    FlatMap64<std::optional<u64>> invOverride;
 };
 
 } // namespace h2::core

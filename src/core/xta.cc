@@ -13,8 +13,12 @@ Xta::Xta(u64 numSectors, u32 ways, u32 linesPerSector)
     h2_assert(linesPerSector >= 1 && linesPerSector <= 64,
               "valid/dirty vectors support 1..64 lines per sector, got ",
               linesPerSector);
-    sets = numSectors / ways;
-    entries.resize(numSectors);
+    // Round the set count down to a power of two (see the header
+    // comment) so setOf/tagOf are a mask and a shift on the hot path.
+    sets = u64(1) << floorLog2(numSectors / ways);
+    setShift = floorLog2(sets);
+    setMask = sets - 1;
+    entries.resize(sets * waysN);
 }
 
 XtaEntry *

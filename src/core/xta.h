@@ -8,6 +8,13 @@
  * location pointers. The NM pointer decouples an XTA way from the
  * physical NM location of its data (indirection), which is what lets
  * Hybrid2 promote a cached sector to a migrated one without copying.
+ *
+ * Set-count rounding: the number of sets is rounded DOWN to a power of
+ * two so the per-access setOf/tagOf split is a mask/shift instead of a
+ * div/mod (real tag arrays index with address bits the same way). Every
+ * paper configuration (power-of-two cache, sector and line sizes)
+ * already yields a power-of-two set count, so rounding only affects
+ * exotic geometries, where it slightly shrinks capacitySectors().
  */
 
 #ifndef H2_CORE_XTA_H
@@ -53,12 +60,12 @@ class Xta
     u64 capacitySectors() const { return sets * waysN; }
     u32 linesPerSector() const { return lps; }
 
-    u64 setOf(u64 flatSector) const { return flatSector % sets; }
-    u64 tagOf(u64 flatSector) const { return flatSector / sets; }
+    u64 setOf(u64 flatSector) const { return flatSector & setMask; }
+    u64 tagOf(u64 flatSector) const { return flatSector >> setShift; }
     u64
     flatSectorOf(u64 set, const XtaEntry &e) const
     {
-        return e.tag * sets + set;
+        return (e.tag << setShift) | set;
     }
 
     /** Find the entry for @p flatSector; refreshes LRU on hit. */
@@ -104,10 +111,20 @@ class Xta
     u64 hits() const { return nHits; }
     u64 misses() const { return nMisses; }
 
+    /** Zero hit/miss counters after warm-up; LRU state is kept. */
+    void
+    resetStats()
+    {
+        nHits = 0;
+        nMisses = 0;
+    }
+
     void collectStats(StatSet &out, const std::string &prefix) const;
 
   private:
     u64 sets;
+    u32 setShift;
+    u64 setMask;
     u32 waysN;
     u32 lps;
     std::vector<XtaEntry> entries;

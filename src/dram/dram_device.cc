@@ -13,21 +13,29 @@ DramDevice::DramDevice(const DramParams &params)
               "DRAM geometry must be non-empty");
     h2_assert(isPowerOf2(cfg.interleaveBytes),
               "interleave must be a power of two");
+    geo.ilvShift = floorLog2(cfg.interleaveBytes);
+    geo.ilvMask = cfg.interleaveBytes - 1;
+    geo.chPow2 = isPowerOf2(cfg.channels);
+    if (geo.chPow2) {
+        geo.chShift = floorLog2(cfg.channels);
+        geo.chMask = cfg.channels - 1;
+    }
+    geo.rowBankPow2 =
+        isPowerOf2(cfg.rowBytes) && isPowerOf2(cfg.banksPerChannel);
+    if (geo.rowBankPow2) {
+        geo.rowShift = floorLog2(cfg.rowBytes);
+        geo.bankMask = cfg.banksPerChannel - 1;
+        geo.rowBankShift = geo.rowShift + floorLog2(cfg.banksPerChannel);
+    }
+    u64 beatBytes = u64(cfg.busBytes) * 2;
+    geo.beatPow2 = isPowerOf2(beatBytes);
+    if (geo.beatPow2) {
+        geo.beatShift = floorLog2(beatBytes);
+        geo.beatMask = beatBytes - 1;
+    }
     channels.resize(cfg.channels);
     for (auto &ch : channels)
         ch.banks.resize(cfg.banksPerChannel);
-}
-
-void
-DramDevice::decode(Addr addr, u32 &channel, u64 &bank, u64 &row) const
-{
-    u64 chunk = addr / cfg.interleaveBytes;
-    channel = static_cast<u32>(chunk % cfg.channels);
-    // Address within this channel's own linear space.
-    u64 chAddr = (chunk / cfg.channels) * cfg.interleaveBytes
-        + (addr % cfg.interleaveBytes);
-    bank = (chAddr / cfg.rowBytes) % cfg.banksPerChannel;
-    row = chAddr / (u64(cfg.rowBytes) * cfg.banksPerChannel);
 }
 
 Tick
@@ -59,7 +67,7 @@ DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
     Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
     Tick dataStart = std::max(cmdDone, ch.busUntil);
     // Double data rate: two beats of busBytes per clock.
-    Tick burst = ceilDiv(bytes, u64(cfg.busBytes) * 2) * cfg.clockPs;
+    Tick burst = burstClocks(bytes) * cfg.clockPs;
     Tick dataEnd = dataStart + burst;
     ch.busUntil = dataEnd;
     ch.busyAccum += burst;
@@ -86,7 +94,7 @@ DramDevice::access(Addr addr, u32 bytes, AccessType type, Tick now)
     Addr cur = addr;
     u64 remaining = bytes;
     while (remaining > 0) {
-        u64 inChunk = cfg.interleaveBytes - (cur % cfg.interleaveBytes);
+        u64 inChunk = cfg.interleaveBytes - (cur & geo.ilvMask);
         u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
         done = std::max(done, accessChunk(cur, take, type, now));
         cur += take;
@@ -115,8 +123,8 @@ DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
         latCycles = cfg.tRp + cfg.tRcd + cfg.tCas;
     Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
     Tick dataStart = std::max(cmdDone, ch.busUntil);
-    Tick burst = ceilDiv(std::min<u64>(bytes, cfg.interleaveBytes),
-                         u64(cfg.busBytes) * 2) * cfg.clockPs;
+    Tick burst = burstClocks(std::min<u64>(bytes, cfg.interleaveBytes))
+        * cfg.clockPs;
     return dataStart + burst - now;
 }
 

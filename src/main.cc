@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/runner.h"
+#include "sim/sweep_runner.h"
 #include "workloads/workload_registry.h"
 
 namespace {
@@ -38,6 +38,7 @@ void printUsage(std::FILE *out)
         "  --instr <n>          simulated instructions per core [1500000]\n"
         "  --warmup <n>         warmup instructions per core [0]\n"
         "  --seed <n>           trace-generation seed [42]\n"
+        "  --jobs <n>           parallel simulations; 0 = all cores [1]\n"
         "  --speedup            also print speedup over the FM-only baseline\n"
         "  --list-workloads     list registered workloads and exit\n"
         "  --list-designs       list the paper's evaluated design specs and exit\n"
@@ -75,6 +76,7 @@ int main(int argc, char **argv)
     std::vector<std::string> designs;
     std::vector<std::string> workloadNames;
     bool wantSpeedup = false;
+    u32 jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -117,6 +119,8 @@ int main(int argc, char **argv)
             config.warmupInstrPerCore = parseU64("--warmup", next("--warmup"));
         } else if (arg == "--seed") {
             config.seed = parseU64("--seed", next("--seed"));
+        } else if (arg == "--jobs") {
+            jobs = static_cast<u32>(parseU64("--jobs", next("--jobs")));
         } else if (arg == "--speedup") {
             wantSpeedup = true;
         } else {
@@ -134,16 +138,25 @@ int main(int argc, char **argv)
     }
 
     try {
-        sim::Runner runner(config);
-        for (const auto &name : workloadNames) {
-            const workloads::Workload &workload =
-                workloads::findWorkload(name);
+        sim::SweepRunner runner(config, jobs);
+        // Submit the whole sweep up front so --jobs>1 overlaps the
+        // simulations, then print in the order the user asked for.
+        std::vector<const workloads::Workload *> suite;
+        for (const auto &name : workloadNames)
+            suite.push_back(&workloads::findWorkload(name));
+        for (const workloads::Workload *workload : suite) {
+            if (wantSpeedup)
+                runner.submit(*workload, "baseline");
+            for (const auto &design : designs)
+                runner.submit(*workload, design);
+        }
+        for (const workloads::Workload *workload : suite) {
             for (const auto &design : designs) {
-                const sim::Metrics &m = runner.run(workload, design);
+                const sim::Metrics &m = runner.run(*workload, design);
                 std::printf("%s", m.toString().c_str());
                 if (wantSpeedup)
                     std::printf("speedup_vs_baseline: %.4f\n",
-                                runner.speedup(workload, design));
+                                runner.speedup(*workload, design));
                 std::printf("\n");
             }
         }

@@ -40,6 +40,10 @@ struct Metrics
     StatSet detail;
 
     std::string toString() const;
+
+    /** Field-exact equality (doubles compared bit-for-bit); the sweep
+     *  engine's determinism tests and bench_wallclock rely on it. */
+    bool operator==(const Metrics &) const = default;
 };
 
 } // namespace h2::sim

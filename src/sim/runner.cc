@@ -1,8 +1,7 @@
 #include "sim/runner.h"
 
-#include <algorithm>
 #include <charconv>
-#include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "baselines/chameleon.h"
@@ -13,6 +12,7 @@
 #include "baselines/mempod.h"
 #include "baselines/tagless_cache.h"
 #include "common/log.h"
+#include "common/parse.h"
 #include "common/units.h"
 #include "core/dcmc.h"
 
@@ -20,56 +20,59 @@ namespace h2::sim {
 
 namespace {
 
-std::vector<std::string>
-splitOn(const std::string &s, char delim)
+std::vector<std::string_view>
+splitOn(std::string_view s, char delim)
 {
-    std::vector<std::string> out;
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, delim))
+    std::vector<std::string_view> out;
+    while (!s.empty()) {
+        auto pos = s.find(delim);
+        std::string_view item = s.substr(0, pos);
         if (!item.empty())
             out.push_back(item);
+        if (pos == std::string_view::npos)
+            break;
+        s.remove_prefix(pos + 1);
+    }
     return out;
 }
 
 /** Parse "key=value" into (key, value); bare words get value "". */
-std::pair<std::string, std::string>
-keyValue(const std::string &token)
+std::pair<std::string_view, std::string_view>
+keyValue(std::string_view token)
 {
     auto eq = token.find('=');
-    if (eq == std::string::npos)
-        return {token, ""};
+    if (eq == std::string_view::npos)
+        return {token, {}};
     return {token.substr(0, eq), token.substr(eq + 1)};
 }
 
 /** Parse a decimal integer option; fatal (not a crash) on garbage. */
 u64
-parseNum(const std::string &what, const std::string &value)
+parseNum(std::string_view what, std::string_view value)
 {
-    u64 v = 0;
-    auto [ptr, ec] =
-        std::from_chars(value.data(), value.data() + value.size(), v, 10);
-    if (ec != std::errc{} || ptr != value.data() + value.size())
-        h2_fatal("bad value for ", what, ": '", value,
-                 "' (expected a decimal integer)");
-    return v;
+    return parseU64OrFatal(what, value);
 }
 
-/** Parse a decimal number option allowing a fractional part. */
+/** Parse a non-negative decimal number allowing a fractional part.
+ *  std::from_chars is locale-independent, unlike std::stod. */
 double
-parseFloat(const std::string &what, const std::string &value)
+parseFloat(std::string_view what, std::string_view value)
 {
-    // Digits with at most one dot, and at least one digit somewhere.
-    if (value.find_first_not_of("0123456789.") != std::string::npos ||
-        std::count(value.begin(), value.end(), '.') > 1 ||
-        value.find_first_of("0123456789") == std::string::npos)
+    // Digits and dots only: from_chars alone would also accept signs
+    // and inf/nan, which no option here means.
+    if (value.find_first_not_of("0123456789.") != std::string_view::npos)
         h2_fatal("bad value for ", what, ": '", value,
                  "' (expected a decimal number)");
-    try {
-        return std::stod(value);
-    } catch (const std::out_of_range &) {
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(value.data(),
+                                     value.data() + value.size(), v,
+                                     std::chars_format::fixed);
+    if (ec == std::errc::result_out_of_range)
         h2_fatal("bad value for ", what, ": '", value, "' (out of range)");
-    }
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+        h2_fatal("bad value for ", what, ": '", value,
+                 "' (expected a decimal number)");
+    return v;
 }
 
 std::unique_ptr<mem::HybridMemory>
@@ -163,13 +166,8 @@ evaluatedDesigns()
     return designs;
 }
 
-Runner::Runner(const RunConfig &config)
-    : cfg(config)
-{
-}
-
 SystemConfig
-Runner::systemConfig() const
+makeSystemConfig(const RunConfig &cfg)
 {
     SystemConfig sc = table1Config(cfg.nmBytes, cfg.fmBytes);
     sc.numCores = cfg.numCores;
@@ -177,6 +175,24 @@ Runner::systemConfig() const
     sc.warmupInstrPerCore = cfg.warmupInstrPerCore;
     sc.seed = cfg.seed;
     return sc;
+}
+
+Metrics
+simulateOne(const RunConfig &cfg, const workloads::Workload &workload,
+            const std::string &designSpec)
+{
+    System system(makeSystemConfig(cfg), workload,
+                  [&](const mem::MemSystemParams &mp,
+                      const mem::LlcView &llc) {
+                      return makeDesign(designSpec, mp, llc);
+                  });
+    system.run();
+    return system.metrics();
+}
+
+Runner::Runner(const RunConfig &config)
+    : cfg(config)
+{
 }
 
 const Metrics &
@@ -187,14 +203,8 @@ Runner::run(const workloads::Workload &workload,
     auto it = results.find(key);
     if (it != results.end())
         return it->second;
-
-    System system(systemConfig(), workload,
-                  [&](const mem::MemSystemParams &mp,
-                      const mem::LlcView &llc) {
-                      return makeDesign(designSpec, mp, llc);
-                  });
-    system.run();
-    return results.emplace(key, system.metrics()).first->second;
+    return results.emplace(key, simulateOne(cfg, workload, designSpec))
+        .first->second;
 }
 
 double

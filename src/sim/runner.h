@@ -44,6 +44,19 @@ struct RunConfig
     u64 seed = 42;
 };
 
+/** The SystemConfig a RunConfig expands to (Table 1 + scenario knobs). */
+SystemConfig makeSystemConfig(const RunConfig &cfg);
+
+/**
+ * Simulate one (workload, design) pair to completion.
+ *
+ * Pure function of its arguments: builds a fresh System, runs it, and
+ * returns the metrics. Safe to call concurrently from sweep workers —
+ * nothing inside the simulator mutates shared state.
+ */
+Metrics simulateOne(const RunConfig &cfg, const workloads::Workload &workload,
+                    const std::string &designSpec);
+
 /** Runs (workload, design) pairs, memoizing results per config. */
 class Runner
 {
@@ -61,8 +74,6 @@ class Runner
     const RunConfig &config() const { return cfg; }
 
   private:
-    SystemConfig systemConfig() const;
-
     RunConfig cfg;
     std::map<std::string, Metrics> results;
 };

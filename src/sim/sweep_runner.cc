@@ -1,0 +1,115 @@
+#include "sim/sweep_runner.h"
+
+#include "common/log.h"
+
+namespace h2::sim {
+
+SweepRunner::SweepRunner(const RunConfig &config, u32 jobs)
+    : cfg(config), pool(jobs ? jobs : ThreadPool::defaultConcurrency())
+{
+}
+
+SweepRunner::~SweepRunner()
+{
+    pool.drain();
+}
+
+std::string
+SweepRunner::key(const workloads::Workload &workload,
+                 const std::string &designSpec)
+{
+    return workload.name + "|" + designSpec;
+}
+
+void
+SweepRunner::submit(const workloads::Workload &workload,
+                    const std::string &designSpec)
+{
+    std::string k = key(workload, designSpec);
+    {
+        std::unique_lock lock(mu);
+        if (done.count(k) || inFlight.count(k))
+            return;
+        inFlight.insert(k);
+    }
+    // The workload is copied into the task: benches routinely pass
+    // temporaries and the simulation outlives the submit call.
+    pool.submit([this, k, workload, designSpec] {
+        Metrics m = simulateOne(cfg, workload, designSpec);
+        {
+            std::unique_lock lock(mu);
+            inFlight.erase(k);
+            done.emplace(k, std::move(m));
+        }
+        doneCv.notify_all();
+    });
+}
+
+void
+SweepRunner::submitSweep(const std::vector<workloads::Workload> &suite,
+                         const std::vector<std::string> &specs,
+                         bool withBaseline)
+{
+    for (const auto &w : suite) {
+        if (withBaseline)
+            submit(w, "baseline");
+        for (const auto &spec : specs)
+            submit(w, spec);
+    }
+}
+
+const Metrics &
+SweepRunner::blockOn(const std::string &resultKey)
+{
+    std::unique_lock lock(mu);
+    doneCv.wait(lock, [&] { return done.count(resultKey) != 0; });
+    // std::map references are stable; safe to return across the lock.
+    return done.at(resultKey);
+}
+
+const Metrics &
+SweepRunner::run(const workloads::Workload &workload,
+                 const std::string &designSpec)
+{
+    submit(workload, designSpec);
+    return blockOn(key(workload, designSpec));
+}
+
+double
+SweepRunner::speedup(const workloads::Workload &workload,
+                     const std::string &designSpec)
+{
+    submit(workload, "baseline");
+    submit(workload, designSpec);
+    const Metrics &base = blockOn(key(workload, "baseline"));
+    const Metrics &design = blockOn(key(workload, designSpec));
+    h2_assert(design.timePs > 0, "zero runtime");
+    return double(base.timePs) / double(design.timePs);
+}
+
+void
+SweepRunner::waitAll()
+{
+    std::unique_lock lock(mu);
+    doneCv.wait(lock, [this] { return inFlight.empty(); });
+}
+
+const std::map<std::string, Metrics> &
+SweepRunner::results()
+{
+    waitAll();
+    return done;
+}
+
+u64
+SweepRunner::totalAccesses()
+{
+    waitAll();
+    std::unique_lock lock(mu);
+    u64 total = 0;
+    for (const auto &[k, m] : done)
+        total += m.memAccesses;
+    return total;
+}
+
+} // namespace h2::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parallel sweep engine: dispatches independent (workload, design)
+ * simulations across a thread pool.
+ *
+ * Every figure/table program runs a sweep of independent simulations;
+ * each simulation is a pure function of (RunConfig, workload, design),
+ * so they parallelize without changing any result. The runner memoizes
+ * completed Metrics in a mutex-guarded map keyed by "workload|design",
+ * which also fixes the result ordering deterministically no matter
+ * which worker finishes first. Blocking getters (run, speedup) keep the
+ * serial Runner's call shape, so benches submit their whole sweep up
+ * front and then render from the completed result map.
+ */
+
+#ifndef H2_SIM_SWEEP_RUNNER_H
+#define H2_SIM_SWEEP_RUNNER_H
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/runner.h"
+
+namespace h2::sim {
+
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 picks the hardware concurrency. */
+    explicit SweepRunner(const RunConfig &config = {}, u32 jobs = 1);
+
+    /** Waits for all in-flight simulations before tearing down. */
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** Enqueue one simulation; duplicates of cached or in-flight work
+     *  are ignored. Returns immediately. */
+    void submit(const workloads::Workload &workload,
+                const std::string &designSpec);
+
+    /** Enqueue the full cross product of @p suite x @p specs, plus the
+     *  FM-only baseline per workload when @p withBaseline (needed by
+     *  any bench that renders speedups or normalized metrics). */
+    void submitSweep(const std::vector<workloads::Workload> &suite,
+                     const std::vector<std::string> &specs,
+                     bool withBaseline = false);
+
+    /** Result for (workload, design): submits it if never submitted,
+     *  then blocks until the simulation completes. */
+    const Metrics &run(const workloads::Workload &workload,
+                       const std::string &designSpec);
+
+    /** Speedup of @p designSpec over the FM-only baseline. */
+    double speedup(const workloads::Workload &workload,
+                   const std::string &designSpec);
+
+    /** Block until every submitted simulation has completed. */
+    void waitAll();
+
+    /** All completed results keyed "workload|design" (after waitAll);
+     *  map order is deterministic regardless of completion order. */
+    const std::map<std::string, Metrics> &results();
+
+    const RunConfig &config() const { return cfg; }
+    u32 jobs() const { return pool.size(); }
+
+    /** Total core-side memory accesses across completed simulations. */
+    u64 totalAccesses();
+
+  private:
+    static std::string key(const workloads::Workload &workload,
+                           const std::string &designSpec);
+    const Metrics &blockOn(const std::string &resultKey);
+
+    RunConfig cfg;
+    ThreadPool pool;
+
+    std::mutex mu;
+    std::condition_variable doneCv;
+    std::map<std::string, Metrics> done;
+    std::set<std::string> inFlight;
+};
+
+} // namespace h2::sim
+
+#endif // H2_SIM_SWEEP_RUNNER_H

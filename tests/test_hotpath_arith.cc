@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property tests pinning the hot-path shift/mask arithmetic to the
+ * reference div/mod formulas it replaced: DramDevice::decode and the
+ * burst sizing across randomized geometries (including non-power-of-two
+ * channel/bank counts, which must take the exact fallback), and the
+ * XTA's power-of-two set mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/xta.h"
+#include "dram/dram_device.h"
+
+namespace h2 {
+namespace {
+
+/** The original decode arithmetic, kept verbatim as the oracle. */
+void
+referenceDecode(const dram::DramParams &cfg, Addr addr, u32 &channel,
+                u64 &bank, u64 &row)
+{
+    u64 chunk = addr / cfg.interleaveBytes;
+    channel = static_cast<u32>(chunk % cfg.channels);
+    u64 chAddr = (chunk / cfg.channels) * cfg.interleaveBytes
+        + (addr % cfg.interleaveBytes);
+    bank = (chAddr / cfg.rowBytes) % cfg.banksPerChannel;
+    row = chAddr / (u64(cfg.rowBytes) * cfg.banksPerChannel);
+}
+
+dram::DramParams
+geometry(u32 channels, u32 banks, u32 rowBytes, u32 interleave)
+{
+    dram::DramParams p;
+    p.name = "prop";
+    p.capacityBytes = 64 * MiB;
+    p.channels = channels;
+    p.banksPerChannel = banks;
+    p.rowBytes = rowBytes;
+    p.interleaveBytes = interleave;
+    return p;
+}
+
+TEST(DramDecode, MatchesReferenceAcrossRandomGeometries)
+{
+    Rng rng(101);
+    // Non-powers of two exercise the div/mod fallback paths.
+    const u32 channelChoices[] = {1, 2, 3, 4, 5, 6, 7, 8, 12, 16};
+    const u32 bankChoices[] = {1, 2, 3, 4, 5, 8, 12, 16};
+    const u32 rowChoices[] = {512, 1024, 1536, 2048, 3072, 4096};
+    const u32 ilvChoices[] = {64, 128, 256, 512, 1024};
+    for (int g = 0; g < 60; ++g) {
+        auto p = geometry(channelChoices[rng.below(10)],
+                          bankChoices[rng.below(8)],
+                          rowChoices[rng.below(6)],
+                          ilvChoices[rng.below(5)]);
+        dram::DramDevice dev(p);
+        for (int i = 0; i < 500; ++i) {
+            Addr addr = rng.below(p.capacityBytes);
+            u32 ch, refCh;
+            u64 bank, row, refBank, refRow;
+            dev.decode(addr, ch, bank, row);
+            referenceDecode(p, addr, refCh, refBank, refRow);
+            ASSERT_EQ(ch, refCh)
+                << "ch=" << p.channels << " banks=" << p.banksPerChannel
+                << " row=" << p.rowBytes << " addr=" << addr;
+            ASSERT_EQ(bank, refBank)
+                << "ch=" << p.channels << " banks=" << p.banksPerChannel
+                << " row=" << p.rowBytes << " addr=" << addr;
+            ASSERT_EQ(row, refRow)
+                << "ch=" << p.channels << " banks=" << p.banksPerChannel
+                << " row=" << p.rowBytes << " addr=" << addr;
+        }
+    }
+}
+
+TEST(DramDecode, Table1PresetsMatchReference)
+{
+    Rng rng(7);
+    for (auto p : {dram::DramParams::hbm2(1 * GiB),
+                   dram::DramParams::ddr4_3200(4 * GiB)}) {
+        dram::DramDevice dev(p);
+        for (int i = 0; i < 2000; ++i) {
+            Addr addr = rng.below(p.capacityBytes);
+            u32 ch, refCh;
+            u64 bank, row, refBank, refRow;
+            dev.decode(addr, ch, bank, row);
+            referenceDecode(p, addr, refCh, refBank, refRow);
+            ASSERT_EQ(ch, refCh);
+            ASSERT_EQ(bank, refBank);
+            ASSERT_EQ(row, refRow);
+        }
+    }
+}
+
+TEST(DramDecode, ProbeEqualsAccessForSingleChunk)
+{
+    // probeLatency must predict exactly what a mutating access of one
+    // interleave chunk reports, at every point of a random sequence.
+    Rng rng(17);
+    auto p = geometry(3, 8, 2048, 256); // non-pow2 channels on purpose
+    dram::DramDevice dev(p);
+    Tick now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        now += rng.below(3000);
+        u64 chunks = p.capacityBytes / p.interleaveBytes;
+        Addr addr = rng.below(chunks) * p.interleaveBytes;
+        u32 bytes = 64u << rng.below(3); // 64..256 = full chunk
+        Tick predicted = dev.probeLatency(addr, bytes, now);
+        Tick done = dev.access(addr, bytes, AccessType::Read, now);
+        ASSERT_EQ(now + predicted, done) << "access " << i;
+    }
+}
+
+TEST(XtaGeometry, MaskShiftMatchesDivMod)
+{
+    Rng rng(29);
+    for (int g = 0; g < 40; ++g) {
+        u32 ways = 1u << rng.below(5);
+        u64 requestedSets = 1 + rng.below(5000);
+        core::Xta x(requestedSets * ways, ways, 8);
+        u64 sets = x.numSets();
+        // Rounded down to a power of two, never above the request.
+        EXPECT_TRUE(isPowerOf2(sets));
+        EXPECT_LE(sets, requestedSets);
+        EXPECT_GT(2 * sets, requestedSets);
+        EXPECT_EQ(x.capacitySectors(), sets * ways);
+        for (int i = 0; i < 500; ++i) {
+            u64 fs = rng.below(1u << 30);
+            ASSERT_EQ(x.setOf(fs), fs % sets);
+            ASSERT_EQ(x.tagOf(fs), fs / sets);
+        }
+    }
+}
+
+TEST(XtaGeometry, FlatSectorRoundTrip)
+{
+    core::Xta x(48, 4, 8); // 12 requested sets -> 8 (power of two)
+    EXPECT_EQ(x.numSets(), 8u);
+    EXPECT_EQ(x.capacitySectors(), 32u);
+    Rng rng(31);
+    for (int i = 0; i < 1000; ++i) {
+        u64 fs = rng.below(1u << 20);
+        core::XtaEntry e;
+        e.tag = x.tagOf(fs);
+        ASSERT_EQ(x.flatSectorOf(x.setOf(fs), e), fs);
+    }
+}
+
+} // namespace
+} // namespace h2

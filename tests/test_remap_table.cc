@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.h"
 #include "core/remap_table.h"
 
 namespace h2::core {
@@ -103,6 +107,60 @@ TEST(RemapTableDeath, InvLookupOutOfRange)
 TEST(RemapTableDeath, MismatchedSizes)
 {
     EXPECT_DEATH(RemapTable(500, 99, 20, 400), "NM flat region");
+}
+
+TEST(RemapTable, RandomizedAgainstReferenceModel)
+{
+    // The open-addressed override tables must behave exactly like the
+    // std::unordered_map implementation they replaced, across enough
+    // churn to force several growth rehashes.
+    const u64 flat = 5000, nmFlat = 1000, cache = 200, fm = 4000;
+    RemapTable t(flat, nmFlat, cache, fm);
+    std::unordered_map<u64, Loc> remapRef;
+    std::unordered_map<u64, std::optional<u64>> invRef;
+    Rng rng(99);
+    for (int i = 0; i < 50000; ++i) {
+        switch (rng.below(4)) {
+          case 0: {
+            u64 fs = rng.below(flat);
+            Loc loc = rng.chance(0.5)
+                ? Loc{true, rng.below(cache + nmFlat)}
+                : Loc{false, rng.below(fm)};
+            t.update(fs, loc);
+            remapRef[fs] = loc;
+            break;
+          }
+          case 1: {
+            u64 nmLoc = rng.below(cache + nmFlat);
+            std::optional<u64> fs = rng.chance(0.3)
+                ? std::nullopt
+                : std::optional<u64>(rng.below(flat));
+            t.invUpdate(nmLoc, fs);
+            invRef[nmLoc] = fs;
+            break;
+          }
+          case 2: {
+            u64 fs = rng.below(flat);
+            auto it = remapRef.find(fs);
+            Loc expected = it != remapRef.end() ? it->second
+                : fs < nmFlat ? Loc{true, cache + fs}
+                              : Loc{false, fs - nmFlat};
+            ASSERT_EQ(t.lookup(fs), expected);
+            break;
+          }
+          default: {
+            u64 nmLoc = rng.below(cache + nmFlat);
+            auto it = invRef.find(nmLoc);
+            std::optional<u64> expected = it != invRef.end()
+                ? it->second
+                : nmLoc >= cache ? std::optional<u64>(nmLoc - cache)
+                                 : std::nullopt;
+            ASSERT_EQ(t.invLookup(nmLoc), expected);
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(t.overrides(), remapRef.size());
 }
 
 TEST(RemapTable, RoundTripSwap)
