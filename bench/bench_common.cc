@@ -17,22 +17,23 @@ BenchOptions::parse(int argc, char **argv)
     if (const char *env = std::getenv("HYBRID2_BENCH_MODE"))
         opts.full = std::string(env) == "full";
     for (int i = 1; i < argc; ++i) {
-        std::string_view arg = argv[i];
-        if (arg == "--mode=full")
+        // Shared "--key=value" splitting with the design-spec and
+        // experiment-file grammars (common/parse.h).
+        auto [key, value] = keyValue(std::string_view(argv[i]));
+        if (key == "--mode" && value == "full")
             opts.full = true;
-        else if (arg == "--mode=quick")
+        else if (key == "--mode" && value == "quick")
             opts.full = false;
-        else if (arg == "--csv")
+        else if (key == "--csv" && value.empty())
             opts.csv = true;
-        else if (arg.rfind("--instr=", 0) == 0)
-            opts.instrPerCore = parseU64OrFatal("--instr", arg.substr(8));
-        else if (arg.rfind("--jobs=", 0) == 0)
-            opts.jobs = static_cast<u32>(
-                parseU64OrFatal("--jobs", arg.substr(7)));
-        else if (arg.rfind("--out=", 0) == 0)
-            opts.jsonOut = std::string(arg.substr(6));
+        else if (key == "--instr")
+            opts.instrPerCore = parseU64OrFatal("--instr", value);
+        else if (key == "--jobs")
+            opts.jobs = static_cast<u32>(parseU64OrFatal("--jobs", value));
+        else if (key == "--out")
+            opts.jsonOut = std::string(value);
         else
-            h2_fatal("unknown bench option: ", arg,
+            h2_fatal("unknown bench option: ", argv[i],
                      " (use --mode=quick|full, --csv, --instr=N, "
                      "--jobs=N, --out=PATH)");
     }

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "common/log.h"
 #include "common/units.h"
 
@@ -80,42 +81,41 @@ main(int argc, char **argv)
     bool identical = serial.results == parallel.results;
     double speedup = serial.seconds / parallel.seconds;
 
-    char json[1024];
-    std::snprintf(
-        json, sizeof(json),
-        "{\n"
-        "  \"bench\": \"wallclock\",\n"
-        "  \"mode\": \"%s\",\n"
-        "  \"instr_per_core\": %llu,\n"
-        "  \"hardware_concurrency\": %u,\n"
-        "  \"sims\": %llu,\n"
-        "  \"accesses_per_pass\": %llu,\n"
-        "  \"serial\": {\"jobs\": 1, \"seconds\": %.3f, "
-        "\"sims_per_sec\": %.3f, \"accesses_per_sec\": %.0f},\n"
-        "  \"parallel\": {\"jobs\": %u, \"seconds\": %.3f, "
-        "\"sims_per_sec\": %.3f, \"accesses_per_sec\": %.0f},\n"
-        "  \"parallel_speedup\": %.3f,\n"
-        "  \"bit_identical\": %s\n"
-        "}\n",
-        opts.full ? "full" : "quick",
-        (unsigned long long)opts.effectiveInstrPerCore(),
-        ThreadPool::defaultConcurrency(),
-        (unsigned long long)serial.sims,
-        (unsigned long long)serial.accesses, serial.seconds,
-        serial.simsPerSec(), serial.accessesPerSec(), parallel.jobs,
-        parallel.seconds, parallel.simsPerSec(),
-        parallel.accessesPerSec(), speedup, identical ? "true" : "false");
+    auto passJson = [](JsonWriter &w, const PassResult &pass) {
+        w.beginObject()
+            .kv("jobs", pass.jobs)
+            .kv("seconds", pass.seconds)
+            .kv("sims_per_sec", pass.simsPerSec())
+            .kv("accesses_per_sec", pass.accessesPerSec())
+            .endObject();
+    };
+    JsonWriter w;
+    w.beginObject()
+        .kv("bench", "wallclock")
+        .kv("mode", opts.full ? "full" : "quick")
+        .kv("instr_per_core", opts.effectiveInstrPerCore())
+        .kv("hardware_concurrency", ThreadPool::defaultConcurrency())
+        .kv("sims", serial.sims)
+        .kv("accesses_per_pass", serial.accesses);
+    w.key("serial");
+    passJson(w, serial);
+    w.key("parallel");
+    passJson(w, parallel);
+    w.kv("parallel_speedup", speedup)
+        .kv("bit_identical", identical)
+        .endObject();
+    const std::string json = w.str() + "\n";
 
     const std::string outPath =
         opts.jsonOut.empty() ? "BENCH_wallclock.json" : opts.jsonOut;
     std::FILE *out = std::fopen(outPath.c_str(), "w");
     if (!out)
         h2_fatal("cannot write ", outPath);
-    std::fputs(json, out);
+    std::fputs(json.c_str(), out);
     std::fclose(out);
 
     if (opts.csv) {
-        std::fputs(json, stdout);
+        std::fputs(json.c_str(), stdout);
     } else {
         std::printf("sweep: %llu sims, %llu core accesses per pass\n",
                     (unsigned long long)serial.sims,

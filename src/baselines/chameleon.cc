@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "sim/design_registry.h"
 
 namespace h2::baselines {
 
@@ -272,5 +273,21 @@ Chameleon::collectStats(StatSet &out) const
     out.add("chameleon.metaReads", double(nMetaReads));
     out.add("chameleon.metaWrites", double(nMetaWrites));
 }
+
+H2_REGISTER_DESIGN(chameleon, [] {
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::Chameleon;
+    d.name = "chameleon";
+    d.description =
+        "Chameleon (Kotra et al., MICRO'18): congruence-group swaps "
+        "plus a Hybrid2-sized cache-mode slice";
+    d.figure12Order = 1;
+    d.factory = [](const sim::DesignSpec &, const mem::MemSystemParams &mp,
+                   const mem::LlcView &)
+        -> std::unique_ptr<mem::HybridMemory> {
+        return std::make_unique<Chameleon>(mp);
+    };
+    return d;
+}())
 
 } // namespace h2::baselines

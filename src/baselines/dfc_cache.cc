@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/units.h"
+#include "sim/design_registry.h"
 
 namespace h2::baselines {
 
@@ -76,5 +78,32 @@ DfcCache::collectStats(StatSet &out) const
     out.add("dfc.tagReads", double(tagReads));
     out.add("dfc.tagWrites", double(tagWrites));
 }
+
+H2_REGISTER_DESIGN(dfc, [] {
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::Dfc;
+    d.name = "dfc";
+    d.description =
+        "Decoupled Fused Cache (Vasilakis et al., TACO'19): in-DRAM "
+        "tags with an on-chip fused tag cache";
+    d.figure12Order = 4;
+    sim::ParamDef line;
+    line.name = "line";
+    line.type = sim::ParamDef::Type::U64;
+    line.description = "cache-line (fetch) bytes";
+    line.defU64 = 1024;
+    line.minU64 = 64;
+    line.maxU64 = 1 * MiB;
+    line.powerOfTwo = true;
+    line.positional = true;
+    d.params = {line};
+    d.factory = [](const sim::DesignSpec &spec,
+                   const mem::MemSystemParams &mp, const mem::LlcView &)
+        -> std::unique_ptr<mem::HybridMemory> {
+        return std::make_unique<DfcCache>(
+            mp, static_cast<u32>(spec.u64Param("line")));
+    };
+    return d;
+}())
 
 } // namespace h2::baselines

@@ -1,6 +1,7 @@
 #include "baselines/flat_baseline.h"
 
 #include "common/log.h"
+#include "sim/design_registry.h"
 
 namespace h2::baselines {
 
@@ -20,5 +21,19 @@ FlatBaseline::access(Addr addr, AccessType type, Tick now)
     recordService(false);
     return {done, false};
 }
+
+H2_REGISTER_DESIGN(baseline, [] {
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::Baseline;
+    d.name = "baseline";
+    d.description =
+        "FM-only system (no 3D-stacked DRAM); the normalization baseline";
+    d.factory = [](const sim::DesignSpec &, const mem::MemSystemParams &mp,
+                   const mem::LlcView &)
+        -> std::unique_ptr<mem::HybridMemory> {
+        return std::make_unique<FlatBaseline>(mp);
+    };
+    return d;
+}())
 
 } // namespace h2::baselines

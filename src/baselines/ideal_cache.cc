@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/units.h"
+#include "sim/design_registry.h"
 
 namespace h2::baselines {
 
@@ -155,5 +157,32 @@ IdealCache::collectStats(StatSet &out) const
     out.add("cache.wastedFetchFraction", wastedFetchFraction());
     tags.collectStats(out, "cache.tags");
 }
+
+H2_REGISTER_DESIGN(ideal, [] {
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::Ideal;
+    d.name = "ideal";
+    d.description =
+        "overhead-free DRAM cache with a parametric line size (Figure 2)";
+    sim::ParamDef line;
+    line.name = "line";
+    line.type = sim::ParamDef::Type::U64;
+    line.description = "cache-line (fetch) bytes";
+    line.defU64 = 256;
+    line.minU64 = 64;
+    line.maxU64 = 1 * MiB;
+    line.powerOfTwo = true;
+    line.positional = true;
+    d.params = {line};
+    d.factory = [](const sim::DesignSpec &spec,
+                   const mem::MemSystemParams &mp, const mem::LlcView &)
+        -> std::unique_ptr<mem::HybridMemory> {
+        DramCacheParams p;
+        p.lineBytes = static_cast<u32>(spec.u64Param("line"));
+        return std::make_unique<IdealCache>(
+            mp, p, "IDEAL-" + std::to_string(p.lineBytes));
+    };
+    return d;
+}())
 
 } // namespace h2::baselines

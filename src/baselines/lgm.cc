@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "sim/design_registry.h"
 
 namespace h2::baselines {
 
@@ -152,5 +153,32 @@ Lgm::collectStats(StatSet &out) const
     out.add("lgm.metaReads", double(nMetaReads));
     out.add("lgm.metaWrites", double(nMetaWrites));
 }
+
+H2_REGISTER_DESIGN(lgm, [] {
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::Lgm;
+    d.name = "lgm";
+    d.description =
+        "LLC-Guided Migration (Vasilakis et al., IPDPS'19): flat space "
+        "with watermark-triggered segment swaps";
+    d.figure12Order = 2;
+    sim::ParamDef watermark;
+    watermark.name = "watermark";
+    watermark.type = sim::ParamDef::Type::U64;
+    watermark.description =
+        "per-interval access count that makes a segment migrate";
+    watermark.defU64 = LgmParams{}.watermark;
+    watermark.minU64 = 1;
+    watermark.maxU64 = ~u32(0);
+    d.params = {watermark};
+    d.factory = [](const sim::DesignSpec &spec,
+                   const mem::MemSystemParams &mp, const mem::LlcView &llc)
+        -> std::unique_ptr<mem::HybridMemory> {
+        LgmParams p;
+        p.watermark = static_cast<u32>(spec.u64Param("watermark"));
+        return std::make_unique<Lgm>(mp, llc, p);
+    };
+    return d;
+}())
 
 } // namespace h2::baselines

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "sim/design_registry.h"
 
 namespace h2::baselines {
 
@@ -158,5 +159,21 @@ MemPod::collectStats(StatSet &out) const
     out.add("mempod.metaReads", double(nMetaReads));
     out.add("mempod.metaWrites", double(nMetaWrites));
 }
+
+H2_REGISTER_DESIGN(mempod, [] {
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::MemPod;
+    d.name = "mempod";
+    d.description =
+        "MemPod (Prodromou et al., HPCA'17): clustered flat space, "
+        "MEA-driven interval migration";
+    d.figure12Order = 0;
+    d.factory = [](const sim::DesignSpec &, const mem::MemSystemParams &mp,
+                   const mem::LlcView &)
+        -> std::unique_ptr<mem::HybridMemory> {
+        return std::make_unique<MemPod>(mp);
+    };
+    return d;
+}())
 
 } // namespace h2::baselines

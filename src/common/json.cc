@@ -1,0 +1,200 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace h2 {
+
+JsonWriter::JsonWriter(bool pretty)
+    : prettyPrint(pretty)
+{
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    h2_assert(ec == std::errc{}, "double format overflow");
+    return std::string(buf, ptr);
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!prettyPrint)
+        return;
+    out += '\n';
+    out.append(2 * stack.size(), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack.empty()) {
+        h2_assert(out.empty(), "multiple top-level JSON values");
+        return;
+    }
+    Scope &top = stack.back();
+    if (top.isArray) {
+        h2_assert(!keyPending, "key inside a JSON array");
+        if (top.items++)
+            out += ',';
+        newlineIndent();
+    } else {
+        h2_assert(keyPending, "JSON object value without a key");
+        keyPending = false;
+    }
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    h2_assert(!stack.empty() && !stack.back().isArray,
+              "JSON key outside an object");
+    h2_assert(!keyPending, "two JSON keys in a row");
+    if (stack.back().items++)
+        out += ',';
+    newlineIndent();
+    out += '"';
+    out += escape(k);
+    out += prettyPrint ? "\": " : "\":";
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out += '{';
+    stack.push_back({false, 0});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    h2_assert(!stack.empty() && !stack.back().isArray && !keyPending,
+              "unbalanced endObject");
+    bool hadItems = stack.back().items > 0;
+    stack.pop_back();
+    if (hadItems)
+        newlineIndent();
+    out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out += '[';
+    stack.push_back({true, 0});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    h2_assert(!stack.empty() && stack.back().isArray,
+              "unbalanced endArray");
+    bool hadItems = stack.back().items > 0;
+    stack.pop_back();
+    if (hadItems)
+        newlineIndent();
+    out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out += '"';
+    out += escape(v);
+    out += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    beforeValue();
+    out += formatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    beforeValue();
+    out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    beforeValue();
+    out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out += "null";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    h2_assert(stack.empty() && !out.empty(),
+              "JsonWriter::str on an unfinished document");
+    return out;
+}
+
+} // namespace h2

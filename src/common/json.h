@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The single serializer behind every machine-readable output in the
+ * repo: `h2sim --format json`, Metrics::toJson(), and the benches'
+ * JSON artifacts all emit through this, so the output is uniformly
+ * escaped, locale-independent, and valid by construction (unbalanced
+ * begin/end or a value without a key is a panic, not bad output).
+ *
+ * Usage:
+ *   JsonWriter w;
+ *   w.beginObject().kv("sims", u64(12)).key("serial").beginObject()
+ *    .kv("seconds", 1.5).endObject().endObject();
+ *   std::string text = w.str();
+ */
+
+#ifndef H2_COMMON_JSON_H
+#define H2_COMMON_JSON_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+class JsonWriter
+{
+  public:
+    /** @param pretty two-space indentation; compact otherwise. */
+    explicit JsonWriter(bool pretty = true);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key of the next value inside an object. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(const std::string &v)
+    {
+        return value(std::string_view(v));
+    }
+    /** Non-finite doubles have no JSON rendering; emitted as null. */
+    JsonWriter &value(double v);
+    JsonWriter &value(u64 v);
+    JsonWriter &value(u32 v) { return value(u64(v)); }
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The finished document; panics if begin/end are unbalanced. */
+    const std::string &str() const;
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(std::string_view s);
+
+    /** Locale-independent shortest round-trip rendering of @p v. */
+    static std::string formatDouble(double v);
+
+  private:
+    void beforeValue();
+    void newlineIndent();
+
+    struct Scope
+    {
+        bool isArray = false;
+        u64 items = 0;
+    };
+
+    bool prettyPrint;
+    bool keyPending = false;
+    std::string out;
+    std::vector<Scope> stack;
+};
+
+} // namespace h2
+
+#endif // H2_COMMON_JSON_H

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "sim/design_registry.h"
 
 namespace h2::core {
 
@@ -488,5 +489,99 @@ Dcmc::collectStats(StatSet &out) const
     out.add("dcmc.bytes.fmMigration", double(bytes.fmMigration));
     out.add("dcmc.bytes.fmSwap", double(bytes.fmSwap));
 }
+
+H2_REGISTER_DESIGN(hybrid2, [] {
+    const Hybrid2Params defaults;
+    sim::DesignInfo d;
+    d.kind = sim::DesignKind::Hybrid2;
+    d.name = "hybrid2";
+    d.description =
+        "the paper's DRAM Cache Migration Controller (default: best "
+        "Table-DSE configuration)";
+    d.figure12Order = 5;
+
+    sim::ParamDef cache;
+    cache.name = "cache";
+    cache.type = sim::ParamDef::Type::U64;
+    cache.description = "DRAM-cache slice of NM, MiB";
+    cache.defU64 = defaults.cacheBytes / MiB;
+    cache.minU64 = 1;
+    cache.maxU64 = 1 * MiB; // 1 TiB expressed in MiB
+
+    sim::ParamDef sector;
+    sector.name = "sector";
+    sector.type = sim::ParamDef::Type::U64;
+    sector.description = "migration/tag granularity, bytes";
+    sector.defU64 = defaults.sectorBytes;
+    sector.minU64 = 64;
+    sector.maxU64 = 1 * MiB;
+    sector.powerOfTwo = true;
+
+    sim::ParamDef line;
+    line.name = "line";
+    line.type = sim::ParamDef::Type::U64;
+    line.description = "DRAM-cache line (fetch) granularity, bytes";
+    line.defU64 = defaults.lineBytes;
+    line.minU64 = 64;
+    line.maxU64 = 1 * MiB;
+    line.powerOfTwo = true;
+
+    sim::ParamDef unused;
+    unused.name = "unused";
+    unused.type = sim::ParamDef::Type::F64;
+    unused.description =
+        "percentage of OS-unused sectors (section 3.8 extension)";
+    unused.defF64 = defaults.unusedSectorFraction * 100.0;
+    unused.minF64 = 0.0;
+    unused.maxF64 = 100.0;
+
+    auto makeFlag = [](const char *name, const char *descr) {
+        sim::ParamDef f;
+        f.name = name;
+        f.type = sim::ParamDef::Type::Flag;
+        f.description = descr;
+        return f;
+    };
+    d.params = {
+        cache, sector, line, unused,
+        makeFlag("cacheonly", "cache mode only (Migr-None + No-Remap)"),
+        makeFlag("migrall", "migrate every evicted FM sector (Migr-All)"),
+        makeFlag("migrnone", "never migrate (Migr-None)"),
+        makeFlag("noremap", "remap-structure accesses are free (No-Remap)"),
+    };
+
+    d.crossCheck = [](const sim::DesignSpec &spec) -> std::string {
+        if (spec.u64Param("line") > spec.u64Param("sector"))
+            return detail::concat("line (", spec.u64Param("line"),
+                                  ") must not exceed sector (",
+                                  spec.u64Param("sector"), ")");
+        if (spec.flag("migrall") &&
+            (spec.flag("migrnone") || spec.flag("cacheonly")))
+            return "migrall conflicts with migrnone/cacheonly";
+        return {};
+    };
+
+    d.factory = [](const sim::DesignSpec &spec,
+                   const mem::MemSystemParams &mp, const mem::LlcView &)
+        -> std::unique_ptr<mem::HybridMemory> {
+        Hybrid2Params p;
+        p.cacheBytes = spec.u64Param("cache") * MiB;
+        p.sectorBytes = static_cast<u32>(spec.u64Param("sector"));
+        p.lineBytes = static_cast<u32>(spec.u64Param("line"));
+        p.unusedSectorFraction = spec.f64Param("unused") / 100.0;
+        if (spec.flag("cacheonly")) {
+            p.migrateNone = true;
+            p.freeRemap = true;
+        }
+        if (spec.flag("migrall"))
+            p.migrateAll = true;
+        if (spec.flag("migrnone"))
+            p.migrateNone = true;
+        if (spec.flag("noremap"))
+            p.freeRemap = true;
+        return std::make_unique<Dcmc>(mp, p);
+    };
+    return d;
+}())
 
 } // namespace h2::core

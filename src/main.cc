@@ -1,14 +1,23 @@
 /**
  * @file
- * h2sim: thin CLI around sim::Runner so the simulator is runnable
+ * h2sim: CLI around the experiment engine so the simulator is runnable
  * end-to-end outside of the test and bench harnesses.
  *
  * Usage:
  *   h2sim --design <spec> --workload <name> [options]
+ *   h2sim --experiment <file> [options]
  *   h2sim --list-workloads | --list-designs | --help
+ *
+ * The design-spec grammar shown by --help and --list-designs is
+ * generated from the design registry (sim/design_registry.h), so it
+ * can never drift from what the parser accepts. Results render as
+ * text, JSON or CSV (--format) to stdout or a file (--out).
+ *
+ * Exit codes: 0 success, 2 usage/configuration errors (bad flag, bad
+ * design spec, invalid RunConfig, bad experiment file), 1 internal
+ * failures.
  */
 
-#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,7 +25,10 @@
 #include <string>
 #include <vector>
 
-#include "sim/sweep_runner.h"
+#include "common/parse.h"
+#include "sim/design_registry.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
 #include "workloads/workload_registry.h"
 
 namespace {
@@ -27,11 +39,17 @@ void printUsage(std::FILE *out)
         "h2sim - Hybrid2 hybrid-memory simulator (HPCA'20 reproduction)\n"
         "\n"
         "Usage: h2sim --design <spec> --workload <name> [options]\n"
+        "       h2sim --experiment <file> [options]\n"
         "\n"
         "Options:\n"
         "  --design <spec>      design spec (repeatable); see grammar below\n"
         "  --workload <name>    workload from Table 2 (repeatable); see\n"
         "                       --list-workloads\n"
+        "  --experiment <file>  run a declarative sweep (designs x\n"
+        "                       workloads x config) from a file; mutually\n"
+        "                       exclusive with --design/--workload\n"
+        "  --format <f>         output format: text|json|csv [text]\n"
+        "  --out <path>         write results to <path> instead of stdout\n"
         "  --nm-mib <n>         near-memory (HBM) capacity in MiB [1024]\n"
         "  --fm-mib <n>         far-memory (DDR) capacity in MiB [16384]\n"
         "  --cores <n>          number of cores [8]\n"
@@ -39,31 +57,46 @@ void printUsage(std::FILE *out)
         "  --warmup <n>         warmup instructions per core [0]\n"
         "  --seed <n>           trace-generation seed [42]\n"
         "  --jobs <n>           parallel simulations; 0 = all cores [1]\n"
-        "  --speedup            also print speedup over the FM-only baseline\n"
+        "  --speedup            also report speedup over the FM-only\n"
+        "                       baseline\n"
         "  --list-workloads     list registered workloads and exit\n"
-        "  --list-designs       list the paper's evaluated design specs and exit\n"
+        "  --list-designs       list registered designs (with their\n"
+        "                       parameter schemas) and exit\n"
         "  -h, --help           show this help and exit\n"
         "\n"
-        "Design spec grammar:\n"
-        "  baseline | hybrid2 | hybrid2:cacheonly|migrall|migrnone|noremap\n"
-        "  hybrid2:cache=<MiB>,sector=<B>,line=<B>\n"
-        "  ideal:<lineBytes> | tagless | dfc[:<lineBytes>]\n"
-        "  mempod | chameleon | lgm[:watermark=<n>]\n",
+        "Design spec grammar (generated from the design registry):\n",
         out);
+    std::fputs(h2::sim::DesignRegistry::instance().grammarHelp().c_str(),
+               out);
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "h2sim: %s\n", msg.c_str());
+    std::fprintf(stderr, "h2sim: try 'h2sim --help'\n");
+    std::exit(2);
 }
 
 h2::u64 parseU64(const char *flag, const char *value)
 {
     h2::u64 v = 0;
-    const char *last = value + std::strlen(value);
-    auto [ptr, ec] = std::from_chars(value, last, v, 10);
-    if (ec != std::errc{} || ptr != last) {
-        std::fprintf(stderr,
-                     "h2sim: %s expects a non-negative integer, got '%s'\n",
-                     flag, value);
-        std::exit(2);
-    }
+    if (!h2::tryParseU64(value, v))
+        usageError(std::string(flag) + " expects a non-negative integer, "
+                   "got '" + value + "'");
     return v;
+}
+
+void
+listDesigns()
+{
+    using namespace h2;
+    for (const sim::DesignInfo *d : sim::DesignRegistry::instance().all())
+        std::printf("%-10s %s%s\n", d->name.c_str(),
+                    d->description.c_str(),
+                    d->figure12Order >= 0 ? " [Figure 12 lineup]" : "");
+    std::printf("\nDesign spec grammar (generated from the registry):\n%s",
+                sim::DesignRegistry::instance().grammarHelp().c_str());
 }
 
 } // namespace
@@ -72,19 +105,19 @@ int main(int argc, char **argv)
 {
     using namespace h2;
 
-    sim::RunConfig config;
-    std::vector<std::string> designs;
-    std::vector<std::string> workloadNames;
-    bool wantSpeedup = false;
+    sim::ExperimentSpec experiment;
+    std::string experimentFile;
+    std::string formatName;
+    std::string outPath;
+    bool jobsSet = false;
+    bool configFlagSeen = false;
     u32 jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "h2sim: %s requires a value\n", flag);
-                std::exit(2);
-            }
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + " requires a value");
             return argv[++i];
         };
         if (arg == "-h" || arg == "--help") {
@@ -99,67 +132,108 @@ int main(int argc, char **argv)
                             w.paperMpki);
             return 0;
         } else if (arg == "--list-designs") {
-            for (const auto &d : sim::evaluatedDesigns())
-                std::printf("%s\n", d.c_str());
+            listDesigns();
             return 0;
         } else if (arg == "--design") {
-            designs.emplace_back(next("--design"));
+            const char *spec = next("--design");
+            sim::DesignSpec::ParseResult r = sim::DesignSpec::parse(spec);
+            if (!r.ok())
+                usageError(r.error);
+            experiment.designs.push_back(r.spec->toString());
         } else if (arg == "--workload") {
-            workloadNames.emplace_back(next("--workload"));
+            experiment.workloads.emplace_back(next("--workload"));
+        } else if (arg == "--experiment") {
+            experimentFile = next("--experiment");
+        } else if (arg == "--format") {
+            formatName = next("--format");
+            if (!sim::parseOutputFormat(formatName))
+                usageError("--format expects text|json|csv, got '" +
+                           formatName + "'");
+        } else if (arg == "--out") {
+            outPath = next("--out");
         } else if (arg == "--nm-mib") {
-            config.nmBytes = parseU64("--nm-mib", next("--nm-mib")) << 20;
+            experiment.config.nmBytes =
+                parseU64("--nm-mib", next("--nm-mib")) << 20;
+            configFlagSeen = true;
         } else if (arg == "--fm-mib") {
-            config.fmBytes = parseU64("--fm-mib", next("--fm-mib")) << 20;
+            experiment.config.fmBytes =
+                parseU64("--fm-mib", next("--fm-mib")) << 20;
+            configFlagSeen = true;
         } else if (arg == "--cores") {
-            config.numCores =
+            experiment.config.numCores =
                 static_cast<u32>(parseU64("--cores", next("--cores")));
+            configFlagSeen = true;
         } else if (arg == "--instr") {
-            config.instrPerCore = parseU64("--instr", next("--instr"));
+            experiment.config.instrPerCore =
+                parseU64("--instr", next("--instr"));
+            configFlagSeen = true;
         } else if (arg == "--warmup") {
-            config.warmupInstrPerCore = parseU64("--warmup", next("--warmup"));
+            experiment.config.warmupInstrPerCore =
+                parseU64("--warmup", next("--warmup"));
+            configFlagSeen = true;
         } else if (arg == "--seed") {
-            config.seed = parseU64("--seed", next("--seed"));
+            experiment.config.seed = parseU64("--seed", next("--seed"));
+            configFlagSeen = true;
         } else if (arg == "--jobs") {
             jobs = static_cast<u32>(parseU64("--jobs", next("--jobs")));
+            jobsSet = true;
         } else if (arg == "--speedup") {
-            wantSpeedup = true;
+            experiment.speedup = true;
         } else {
-            std::fprintf(stderr, "h2sim: unknown option '%s'\n", arg.c_str());
+            std::fprintf(stderr, "h2sim: unknown option '%s'\n\n",
+                         arg.c_str());
             printUsage(stderr);
             return 2;
         }
     }
 
-    if (designs.empty() || workloadNames.empty()) {
-        std::fprintf(stderr,
-                     "h2sim: need at least one --design and one --workload\n\n");
-        printUsage(stderr);
-        return 2;
+    if (!experimentFile.empty()) {
+        if (!experiment.designs.empty() || !experiment.workloads.empty())
+            usageError("--experiment is mutually exclusive with "
+                       "--design/--workload");
+        if (configFlagSeen)
+            usageError("--experiment is mutually exclusive with the "
+                       "config flags (--nm-mib, --fm-mib, --cores, "
+                       "--instr, --warmup, --seed); set them in the "
+                       "experiment file instead");
+        bool wantSpeedup = experiment.speedup;
+        std::string err;
+        auto fromFile = sim::ExperimentSpec::parseFile(experimentFile, &err);
+        if (!fromFile)
+            usageError(err);
+        experiment = *std::move(fromFile);
+        experiment.speedup = experiment.speedup || wantSpeedup;
+    } else {
+        if (experiment.designs.empty() || experiment.workloads.empty())
+            usageError("need at least one --design and one --workload "
+                       "(or --experiment <file>)");
+        for (const auto &name : experiment.workloads)
+            if (!workloads::tryFindWorkload(name))
+                usageError("unknown workload '" + name +
+                           "' (see h2sim --list-workloads)");
+        if (std::string cfgErr = sim::validateRunConfig(experiment.config);
+            !cfgErr.empty())
+            usageError("invalid run config: " + cfgErr);
     }
 
+    // CLI --format wins over the file's `format` directive; both
+    // default to text.
+    sim::OutputFormat format = sim::OutputFormat::Text;
+    if (!formatName.empty())
+        format = *sim::parseOutputFormat(formatName);
+    else if (!experiment.format.empty())
+        format = *sim::parseOutputFormat(experiment.format);
+
+    // CLI --jobs (including 0 = all cores) wins over the file's jobs.
+    if (jobsSet)
+        experiment.jobs = jobs;
+
     try {
-        sim::SweepRunner runner(config, jobs);
-        // Submit the whole sweep up front so --jobs>1 overlaps the
-        // simulations, then print in the order the user asked for.
-        std::vector<const workloads::Workload *> suite;
-        for (const auto &name : workloadNames)
-            suite.push_back(&workloads::findWorkload(name));
-        for (const workloads::Workload *workload : suite) {
-            if (wantSpeedup)
-                runner.submit(*workload, "baseline");
-            for (const auto &design : designs)
-                runner.submit(*workload, design);
-        }
-        for (const workloads::Workload *workload : suite) {
-            for (const auto &design : designs) {
-                const sim::Metrics &m = runner.run(*workload, design);
-                std::printf("%s", m.toString().c_str());
-                if (wantSpeedup)
-                    std::printf("speedup_vs_baseline: %.4f\n",
-                                runner.speedup(*workload, design));
-                std::printf("\n");
-            }
-        }
+        std::vector<sim::RunRecord> records =
+            sim::runExperiment(experiment);
+        std::string rendered =
+            sim::renderReport(experiment.config, records, format);
+        sim::writeReport(rendered, outPath);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "h2sim: %s\n", e.what());
         return 1;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Typed design specifications.
+ *
+ * A DesignSpec is the parsed, validated, canonical representation of
+ * one memory-organization design: a design kind plus a typed parameter
+ * set checked against the registered schema (see design_registry.h).
+ * The textual grammar every entry point accepts is
+ *
+ *   <kind>[:<option>,<option>,...]
+ *
+ * where an option is "key=value", a bare flag name, or (for designs
+ * with a positional parameter, e.g. "ideal:256") a bare value.
+ *
+ * DesignSpec::parse() returns a spec or a precise error (unknown
+ * design, unknown option, bad value, out of range, not a power of
+ * two). toString() renders the canonical form: options in schema
+ * order, defaults elided, so equivalent spellings ("dfc", "dfc:1024",
+ * "dfc:line=1024") compare and memoize as one design.
+ */
+
+#ifndef H2_SIM_DESIGN_SPEC_H
+#define H2_SIM_DESIGN_SPEC_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace h2::sim {
+
+struct DesignInfo; // registry entry; see design_registry.h
+
+/** Every design kind known to the simulator (paper sections 2 and 6). */
+enum class DesignKind : u8 {
+    Baseline,  ///< FM-only normalization baseline
+    Hybrid2,   ///< the paper's DRAM Cache Migration Controller
+    Ideal,     ///< overhead-free DRAM cache (Figure 2)
+    Tagless,   ///< Tagless DRAM cache (Lee et al., ISCA'15)
+    Dfc,       ///< Decoupled Fused Cache (Vasilakis et al., TACO'19)
+    MemPod,    ///< MemPod (Prodromou et al., HPCA'17)
+    Chameleon, ///< Chameleon (Kotra et al., MICRO'18)
+    Lgm,       ///< LLC-Guided Migration (Vasilakis et al., IPDPS'19)
+};
+
+std::string to_string(DesignKind kind);
+
+/** Schema entry for one design parameter. */
+struct ParamDef
+{
+    enum class Type : u8 { U64, F64, Flag };
+
+    std::string name;
+    Type type = Type::U64;
+    std::string description; ///< one line, includes the unit
+
+    u64 defU64 = 0;
+    double defF64 = 0.0;
+    u64 minU64 = 0;
+    u64 maxU64 = ~u64(0);
+    double minF64 = 0.0;
+    double maxF64 = 1e308;
+    bool powerOfTwo = false;
+    /** Accepted as a bare value ("ideal:256"); at most one per design. */
+    bool positional = false;
+};
+
+/** One typed parameter value. */
+struct ParamValue
+{
+    ParamDef::Type type = ParamDef::Type::U64;
+    u64 u = 0;
+    double f = 0.0;
+    bool b = false;
+
+    bool operator==(const ParamValue &) const = default;
+};
+
+struct DesignSpecParseResult;
+
+class DesignSpec
+{
+  public:
+    /** Outcome of parsing: a spec, or a precise error. */
+    using ParseResult = DesignSpecParseResult;
+
+    /** Parse and validate @p text against the registered schema. */
+    static ParseResult parse(std::string_view text);
+
+    /** Parse @p text; h2_fatal (exit, not crash) on any error. */
+    static DesignSpec parseOrFatal(std::string_view text);
+
+    DesignKind kind() const;
+    /** Grammar head, e.g. "dfc". */
+    const std::string &kindName() const;
+    /** Registry entry this spec was validated against. */
+    const DesignInfo &info() const { return *def; }
+
+    /**
+     * Canonical textual form: kind name, then explicitly-set
+     * non-default options in schema order. Round-trips through
+     * parse() and is the memoization key used by Runner/SweepRunner.
+     */
+    std::string toString() const;
+
+    /** True iff @p name was explicitly set (to a non-default value). */
+    bool isSet(const std::string &name) const;
+
+    /** Value of a U64 parameter (explicit value or schema default). */
+    u64 u64Param(const std::string &name) const;
+    /** Value of an F64 parameter (explicit value or schema default). */
+    double f64Param(const std::string &name) const;
+    /** Value of a flag (true iff explicitly set). */
+    bool flag(const std::string &name) const;
+
+    /** Canonical equality: same kind, same non-default parameters. */
+    bool operator==(const DesignSpec &other) const;
+
+  private:
+    friend struct DesignInfo;
+    explicit DesignSpec(const DesignInfo &info)
+        : def(&info)
+    {
+    }
+
+    const ParamDef *findParam(const std::string &name) const;
+
+    const DesignInfo *def; ///< registry-owned, immutable after init
+    /** Explicitly-set values differing from the schema default. */
+    std::map<std::string, ParamValue> values;
+};
+
+/** Outcome of DesignSpec::parse: a spec, or a precise error. */
+struct DesignSpecParseResult
+{
+    std::optional<DesignSpec> spec;
+    std::string error; ///< empty iff spec is set
+
+    bool ok() const { return spec.has_value(); }
+};
+
+/**
+ * Canonical form of a textual spec (parseOrFatal + toString); the
+ * shared memoization key so "dfc" and "dfc:1024" cache as one run.
+ */
+std::string canonicalDesignSpec(const std::string &spec);
+
+} // namespace h2::sim
+
+#endif // H2_SIM_DESIGN_SPEC_H

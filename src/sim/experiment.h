@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Declarative experiment files: one file describes a whole sweep
+ * (designs x workloads x RunConfig overrides), driven through the
+ * parallel SweepRunner and rendered by sim/report.h.
+ *
+ * File format — one directive per line, `#` starts a comment:
+ *
+ *   # quick design comparison
+ *   design   dfc
+ *   design   hybrid2:cache=64
+ *   workload lbm
+ *   workload mcf
+ *   nm-mib   1024        # RunConfig overrides (all optional)
+ *   fm-mib   16384
+ *   cores    8
+ *   instr    1500000
+ *   warmup   0
+ *   seed     42
+ *   jobs     4           # parallel simulations (0 = all cores)
+ *   speedup  on          # also report speedup over the baseline
+ *   format   json        # default output format (CLI --format wins)
+ *
+ * `key value` and `key=value` are both accepted. Design specs are
+ * validated against the design registry at parse time, workload names
+ * against the workload registry, and the assembled RunConfig against
+ * validateRunConfig — a bad file is reported with its line number
+ * before anything runs.
+ */
+
+#ifndef H2_SIM_EXPERIMENT_H
+#define H2_SIM_EXPERIMENT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace h2::sim {
+
+/** A parsed, validated experiment description. */
+struct ExperimentSpec
+{
+    RunConfig config;
+    std::vector<std::string> designs;   ///< canonical spec forms
+    std::vector<std::string> workloads; ///< validated workload names
+    bool speedup = false;
+    u32 jobs = 1;       ///< parallel simulations (0 = all cores)
+    std::string format; ///< "" = caller's default; else text|json|csv
+
+    /** Parse @p text; on error returns nullopt and sets @p error to a
+     *  message naming the offending line. */
+    static std::optional<ExperimentSpec> parse(std::string_view text,
+                                               std::string *error);
+
+    /** Read and parse @p path; nullopt + @p error on any failure. */
+    static std::optional<ExperimentSpec> parseFile(const std::string &path,
+                                                   std::string *error);
+};
+
+/** One completed (workload, design) simulation of an experiment. */
+struct RunRecord
+{
+    std::string workload;
+    std::string design; ///< canonical design spec
+    Metrics metrics;
+    bool hasSpeedup = false;
+    double speedup = 0.0; ///< over the FM-only baseline, when requested
+};
+
+/**
+ * Run the full sweep of @p spec (cross product, plus the baseline per
+ * workload when speedups were requested) and return the records in
+ * workload-major, design-minor file order. @p jobsOverride replaces
+ * the file's job count when non-zero.
+ */
+std::vector<RunRecord> runExperiment(const ExperimentSpec &spec,
+                                     u32 jobsOverride = 0);
+
+} // namespace h2::sim
+
+#endif // H2_SIM_EXPERIMENT_H

@@ -24,4 +24,82 @@ Metrics::toString() const
     return os.str();
 }
 
+void
+Metrics::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .kv("workload", workload)
+        .kv("design", design)
+        .kv("instructions", instructions)
+        .kv("time_ps", timePs)
+        .kv("cycles", cycles)
+        .kv("ipc", ipc)
+        .kv("mem_accesses", memAccesses)
+        .kv("llc_misses", llcMisses)
+        .kv("mpki", mpki)
+        .kv("mem_requests", memRequests)
+        .kv("served_from_nm", servedFromNm)
+        .kv("nm_traffic_bytes", nmTrafficBytes)
+        .kv("fm_traffic_bytes", fmTrafficBytes)
+        .kv("dynamic_energy_pj", dynamicEnergyPj)
+        .kv("flat_capacity_bytes", flatCapacityBytes)
+        .kv("footprint_bytes", footprintBytes);
+    w.key("detail").beginObject();
+    for (const auto &[name, value] : detail.entries())
+        w.kv(name, value);
+    w.endObject().endObject();
+}
+
+std::string
+Metrics::toJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+std::string
+Metrics::csvHeader()
+{
+    return "workload,design,instructions,time_ps,cycles,ipc,"
+           "mem_accesses,llc_misses,mpki,mem_requests,served_from_nm,"
+           "nm_traffic_bytes,fm_traffic_bytes,dynamic_energy_pj,"
+           "flat_capacity_bytes,footprint_bytes";
+}
+
+namespace {
+
+/** RFC 4180 quoting: wrap in quotes, double any embedded quote. */
+std::string
+csvQuote(const std::string &field)
+{
+    std::string out = "\"";
+    for (char c : field) {
+        out += c;
+        if (c == '"')
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Metrics::toCsvRow() const
+{
+    std::ostringstream os;
+    // Names may one day contain commas; quote the two string fields.
+    os << csvQuote(workload) << ',' << csvQuote(design) << ','
+       << instructions << ','
+       << timePs << ',' << cycles << ','
+       << JsonWriter::formatDouble(ipc) << ',' << memAccesses << ','
+       << llcMisses << ',' << JsonWriter::formatDouble(mpki) << ','
+       << memRequests << ',' << JsonWriter::formatDouble(servedFromNm)
+       << ',' << nmTrafficBytes << ',' << fmTrafficBytes << ','
+       << JsonWriter::formatDouble(dynamicEnergyPj) << ','
+       << flatCapacityBytes << ',' << footprintBytes;
+    return os.str();
+}
+
 } // namespace h2::sim

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -40,6 +41,19 @@ struct Metrics
     StatSet detail;
 
     std::string toString() const;
+
+    /** This run as a standalone JSON object (includes `detail`). */
+    std::string toJson() const;
+
+    /** Emit this run as one JSON object into an ongoing document
+     *  (shared serializer behind h2sim --format json and the benches). */
+    void writeJson(JsonWriter &w) const;
+
+    /** Column names of toCsvRow(), comma-joined. */
+    static std::string csvHeader();
+
+    /** Scalar fields (no `detail`) as one CSV row, matching csvHeader(). */
+    std::string toCsvRow() const;
 
     /** Field-exact equality (doubles compared bit-for-bit); the sweep
      *  engine's determinism tests and bench_wallclock rely on it. */

@@ -1,0 +1,130 @@
+#include "sim/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/units.h"
+
+namespace h2::sim {
+
+namespace {
+
+void
+writeConfigJson(JsonWriter &w, const RunConfig &cfg)
+{
+    w.beginObject()
+        .kv("nm_bytes", cfg.nmBytes)
+        .kv("fm_bytes", cfg.fmBytes)
+        .kv("instr_per_core", cfg.instrPerCore)
+        .kv("warmup_instr_per_core", cfg.warmupInstrPerCore)
+        .kv("num_cores", cfg.numCores)
+        .kv("seed", cfg.seed)
+        .endObject();
+}
+
+std::string
+renderText(const std::vector<RunRecord> &records)
+{
+    std::ostringstream os;
+    for (const auto &rec : records) {
+        os << rec.metrics.toString();
+        if (rec.hasSpeedup) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.4f", rec.speedup);
+            os << "speedup_vs_baseline: " << buf << "\n";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderJson(const RunConfig &config, const std::vector<RunRecord> &records)
+{
+    JsonWriter w;
+    w.beginObject().kv("generator", "h2sim");
+    w.key("config");
+    writeConfigJson(w, config);
+    w.key("results").beginArray();
+    for (const auto &rec : records) {
+        w.beginObject()
+            .kv("workload", rec.workload)
+            .kv("design_spec", rec.design);
+        if (rec.hasSpeedup)
+            w.kv("speedup_vs_baseline", rec.speedup);
+        w.key("metrics");
+        rec.metrics.writeJson(w);
+        w.endObject();
+    }
+    w.endArray().endObject();
+    return w.str() + "\n";
+}
+
+std::string
+renderCsv(const std::vector<RunRecord> &records)
+{
+    bool anySpeedup = false;
+    for (const auto &rec : records)
+        anySpeedup |= rec.hasSpeedup;
+
+    std::ostringstream os;
+    os << Metrics::csvHeader();
+    if (anySpeedup)
+        os << ",speedup_vs_baseline";
+    os << "\n";
+    for (const auto &rec : records) {
+        os << rec.metrics.toCsvRow();
+        if (anySpeedup) {
+            os << ',';
+            if (rec.hasSpeedup)
+                os << JsonWriter::formatDouble(rec.speedup);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::optional<OutputFormat>
+parseOutputFormat(std::string_view name)
+{
+    if (name == "text")
+        return OutputFormat::Text;
+    if (name == "json")
+        return OutputFormat::Json;
+    if (name == "csv")
+        return OutputFormat::Csv;
+    return std::nullopt;
+}
+
+std::string
+renderReport(const RunConfig &config,
+             const std::vector<RunRecord> &records, OutputFormat format)
+{
+    switch (format) {
+    case OutputFormat::Text: return renderText(records);
+    case OutputFormat::Json: return renderJson(config, records);
+    case OutputFormat::Csv: return renderCsv(records);
+    }
+    h2_panic("unknown output format");
+}
+
+void
+writeReport(const std::string &rendered, const std::string &path)
+{
+    if (path.empty() || path == "-") {
+        std::fputs(rendered.c_str(), stdout);
+        return;
+    }
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out)
+        h2_fatal("cannot write '", path, "'");
+    std::fputs(rendered.c_str(), out);
+    if (std::fclose(out) != 0)
+        h2_fatal("error writing '", path, "'");
+}
+
+} // namespace h2::sim

@@ -1,174 +1,71 @@
 #include "sim/runner.h"
 
-#include <charconv>
-#include <string_view>
-#include <vector>
+#include <algorithm>
 
-#include "baselines/chameleon.h"
-#include "baselines/dfc_cache.h"
-#include "baselines/flat_baseline.h"
-#include "baselines/ideal_cache.h"
-#include "baselines/lgm.h"
-#include "baselines/mempod.h"
-#include "baselines/tagless_cache.h"
 #include "common/log.h"
-#include "common/parse.h"
 #include "common/units.h"
-#include "core/dcmc.h"
+#include "sim/design_registry.h"
 
 namespace h2::sim {
 
-namespace {
-
-std::vector<std::string_view>
-splitOn(std::string_view s, char delim)
-{
-    std::vector<std::string_view> out;
-    while (!s.empty()) {
-        auto pos = s.find(delim);
-        std::string_view item = s.substr(0, pos);
-        if (!item.empty())
-            out.push_back(item);
-        if (pos == std::string_view::npos)
-            break;
-        s.remove_prefix(pos + 1);
-    }
-    return out;
-}
-
-/** Parse "key=value" into (key, value); bare words get value "". */
-std::pair<std::string_view, std::string_view>
-keyValue(std::string_view token)
-{
-    auto eq = token.find('=');
-    if (eq == std::string_view::npos)
-        return {token, {}};
-    return {token.substr(0, eq), token.substr(eq + 1)};
-}
-
-/** Parse a decimal integer option; fatal (not a crash) on garbage. */
-u64
-parseNum(std::string_view what, std::string_view value)
-{
-    return parseU64OrFatal(what, value);
-}
-
-/** Parse a non-negative decimal number allowing a fractional part.
- *  std::from_chars is locale-independent, unlike std::stod. */
-double
-parseFloat(std::string_view what, std::string_view value)
-{
-    // Digits and dots only: from_chars alone would also accept signs
-    // and inf/nan, which no option here means.
-    if (value.find_first_not_of("0123456789.") != std::string_view::npos)
-        h2_fatal("bad value for ", what, ": '", value,
-                 "' (expected a decimal number)");
-    double v = 0.0;
-    auto [ptr, ec] = std::from_chars(value.data(),
-                                     value.data() + value.size(), v,
-                                     std::chars_format::fixed);
-    if (ec == std::errc::result_out_of_range)
-        h2_fatal("bad value for ", what, ": '", value, "' (out of range)");
-    if (ec != std::errc{} || ptr != value.data() + value.size())
-        h2_fatal("bad value for ", what, ": '", value,
-                 "' (expected a decimal number)");
-    return v;
-}
-
 std::unique_ptr<mem::HybridMemory>
-makeHybrid2(const std::string &opts, const mem::MemSystemParams &memParams)
+makeDesign(const DesignSpec &spec, const mem::MemSystemParams &memParams,
+           const mem::LlcView &llc)
 {
-    core::Hybrid2Params p;
-    for (const auto &token : splitOn(opts, ',')) {
-        auto [key, value] = keyValue(token);
-        if (key == "cacheonly") {
-            p.migrateNone = true;
-            p.freeRemap = true;
-        } else if (key == "migrall") {
-            p.migrateAll = true;
-        } else if (key == "migrnone") {
-            p.migrateNone = true;
-        } else if (key == "noremap") {
-            p.freeRemap = true;
-        } else if (key == "cache") {
-            p.cacheBytes = parseNum("hybrid2 cache MiB", value) * MiB;
-        } else if (key == "sector") {
-            p.sectorBytes = static_cast<u32>(parseNum("hybrid2 sector", value));
-        } else if (key == "line") {
-            p.lineBytes = static_cast<u32>(parseNum("hybrid2 line", value));
-        } else if (key == "unused") {
-            // Section 3.8 extension: percentage of OS-unused sectors.
-            p.unusedSectorFraction =
-                parseFloat("hybrid2 unused %", value) / 100.0;
-        } else {
-            h2_fatal("unknown hybrid2 option: ", key);
-        }
-    }
-    return std::make_unique<core::Dcmc>(memParams, p);
+    return spec.info().factory(spec, memParams, llc);
 }
-
-} // namespace
 
 std::unique_ptr<mem::HybridMemory>
 makeDesign(const std::string &spec, const mem::MemSystemParams &memParams,
            const mem::LlcView &llc)
 {
-    auto colon = spec.find(':');
-    std::string head = spec.substr(0, colon);
-    std::string opts =
-        colon == std::string::npos ? "" : spec.substr(colon + 1);
-
-    if (head == "baseline")
-        return std::make_unique<baselines::FlatBaseline>(memParams);
-    if (head == "hybrid2")
-        return makeHybrid2(opts, memParams);
-    if (head == "ideal") {
-        baselines::DramCacheParams p;
-        p.lineBytes = opts.empty()
-                          ? 256
-                          : static_cast<u32>(parseNum("ideal line", opts));
-        return std::make_unique<baselines::IdealCache>(
-            memParams, p, "IDEAL-" + std::to_string(p.lineBytes));
-    }
-    if (head == "tagless")
-        return std::make_unique<baselines::TaglessCache>(memParams);
-    if (head == "dfc") {
-        u32 line = opts.empty()
-                       ? 1024
-                       : static_cast<u32>(parseNum("dfc line", opts));
-        return std::make_unique<baselines::DfcCache>(memParams, line);
-    }
-    if (head == "mempod")
-        return std::make_unique<baselines::MemPod>(memParams);
-    if (head == "chameleon")
-        return std::make_unique<baselines::Chameleon>(memParams);
-    if (head == "lgm") {
-        baselines::LgmParams p;
-        for (const auto &token : splitOn(opts, ',')) {
-            auto [key, value] = keyValue(token);
-            if (key == "watermark")
-                p.watermark =
-                    static_cast<u32>(parseNum("lgm watermark", value));
-            else
-                h2_fatal("unknown lgm option: ", key);
-        }
-        return std::make_unique<baselines::Lgm>(memParams, llc, p);
-    }
-    h2_fatal("unknown design spec: ", spec);
+    return makeDesign(DesignSpec::parseOrFatal(spec), memParams, llc);
 }
 
 const std::vector<std::string> &
 evaluatedDesigns()
 {
-    static const std::vector<std::string> designs = {
-        "mempod", "chameleon", "lgm", "tagless", "dfc", "hybrid2",
-    };
+    // The Figure 12-18 lineup, in paper order, from the registry.
+    static const std::vector<std::string> designs = [] {
+        std::vector<std::pair<int, std::string>> ordered;
+        for (const DesignInfo *d : DesignRegistry::instance().all())
+            if (d->figure12Order >= 0)
+                ordered.emplace_back(d->figure12Order,
+                                     d->defaultSpec().toString());
+        std::sort(ordered.begin(), ordered.end());
+        std::vector<std::string> out;
+        for (auto &[order, spec] : ordered)
+            out.push_back(std::move(spec));
+        return out;
+    }();
     return designs;
+}
+
+std::string
+validateRunConfig(const RunConfig &cfg)
+{
+    if (cfg.numCores == 0)
+        return "numCores must be at least 1";
+    if (cfg.instrPerCore == 0)
+        return "instrPerCore must be at least 1 (zero-instruction runs "
+               "produce no metrics)";
+    if (cfg.nmBytes == 0)
+        return "nmBytes must be non-zero (use the 'baseline' design for "
+               "an FM-only system)";
+    if (cfg.nmBytes >= cfg.fmBytes)
+        return detail::concat(
+            "NM capacity (", formatBytes(cfg.nmBytes),
+            ") must be smaller than FM capacity (",
+            formatBytes(cfg.fmBytes),
+            "); the paper evaluates NM:FM ratios of 1:16 to 4:16");
+    return {};
 }
 
 SystemConfig
 makeSystemConfig(const RunConfig &cfg)
 {
+    if (std::string err = validateRunConfig(cfg); !err.empty())
+        h2_fatal("invalid run config: ", err);
     SystemConfig sc = table1Config(cfg.nmBytes, cfg.fmBytes);
     sc.numCores = cfg.numCores;
     sc.instrPerCore = cfg.instrPerCore;
@@ -199,11 +96,12 @@ const Metrics &
 Runner::run(const workloads::Workload &workload,
             const std::string &designSpec)
 {
-    std::string key = workload.name + "|" + designSpec;
+    std::string canonical = canonicalDesignSpec(designSpec);
+    std::string key = workload.name + "|" + canonical;
     auto it = results.find(key);
     if (it != results.end())
         return it->second;
-    return results.emplace(key, simulateOne(cfg, workload, designSpec))
+    return results.emplace(key, simulateOne(cfg, workload, canonical))
         .first->second;
 }
 

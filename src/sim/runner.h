@@ -1,17 +1,12 @@
 /**
  * @file
- * The experiment runner: design specs, construction, result caching,
- * and speedups over the FM-only baseline.
+ * The experiment runner: design construction, run configuration,
+ * result caching, and speedups over the FM-only baseline.
  *
- * Design spec grammar (used by benches, tests and examples):
- *   "baseline"
- *   "hybrid2"            best Table-DSE configuration
- *   "hybrid2:cacheonly|migrall|migrnone|noremap"
- *   "hybrid2:cache=<MiB>,sector=<B>,line=<B>"
- *   "ideal:<lineBytes>"  overhead-free DRAM cache
- *   "tagless"            page-granular cache
- *   "dfc[:<lineBytes>]"  decoupled fused cache (default 1024)
- *   "mempod" | "chameleon" | "lgm[:watermark=<n>]"
+ * Design specs are typed and validated: see sim/design_spec.h for the
+ * grammar and sim/design_registry.h for the per-design schemas. The
+ * authoritative, always-current grammar text is generated from the
+ * registry (`h2sim --list-designs`, DesignRegistry::grammarHelp()).
  */
 
 #ifndef H2_SIM_RUNNER_H
@@ -21,16 +16,23 @@
 #include <memory>
 #include <string>
 
+#include "sim/design_spec.h"
 #include "sim/system.h"
 
 namespace h2::sim {
 
-/** Build a memory organization from a design spec. */
+/** Build a memory organization from a parsed design spec. */
+std::unique_ptr<mem::HybridMemory>
+makeDesign(const DesignSpec &spec, const mem::MemSystemParams &memParams,
+           const mem::LlcView &llc);
+
+/** Build a memory organization from a textual spec; fatal on a bad
+ *  spec (use DesignSpec::parse to handle errors programmatically). */
 std::unique_ptr<mem::HybridMemory>
 makeDesign(const std::string &spec, const mem::MemSystemParams &memParams,
            const mem::LlcView &llc);
 
-/** The designs compared in Figures 12-18. */
+/** The designs compared in Figures 12-18, from the registry lineup. */
 const std::vector<std::string> &evaluatedDesigns();
 
 /** Scenario knobs for one batch of runs. */
@@ -44,7 +46,16 @@ struct RunConfig
     u64 seed = 42;
 };
 
-/** The SystemConfig a RunConfig expands to (Table 1 + scenario knobs). */
+/**
+ * Sanity-check @p cfg; returns "" when valid, otherwise an actionable
+ * reason (zero cores, zero instruction budget, NM >= FM, ...). The
+ * simulation entry points reject invalid configs with h2_fatal; h2sim
+ * reports the reason and exits with code 2.
+ */
+std::string validateRunConfig(const RunConfig &cfg);
+
+/** The SystemConfig a RunConfig expands to (Table 1 + scenario knobs);
+ *  fatal if @p cfg fails validateRunConfig. */
 SystemConfig makeSystemConfig(const RunConfig &cfg);
 
 /**
@@ -57,7 +68,9 @@ SystemConfig makeSystemConfig(const RunConfig &cfg);
 Metrics simulateOne(const RunConfig &cfg, const workloads::Workload &workload,
                     const std::string &designSpec);
 
-/** Runs (workload, design) pairs, memoizing results per config. */
+/** Runs (workload, design) pairs, memoizing results per config.
+ *  Results are keyed by the canonical spec form, so equivalent
+ *  spellings ("dfc", "dfc:1024") share one simulation. */
 class Runner
 {
   public:

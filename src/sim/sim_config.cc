@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/log.h"
 #include "common/units.h"
 #include "dram/dram_params.h"
 
@@ -22,6 +23,23 @@ table1Config(u64 nmBytes, u64 fmBytes)
     cfg.mem.nmBytes = nmBytes;
     cfg.mem.fmBytes = fmBytes;
     return cfg;
+}
+
+std::string
+validateSystemConfig(const SystemConfig &cfg)
+{
+    if (cfg.numCores == 0)
+        return "numCores must be at least 1";
+    if (cfg.instrPerCore == 0)
+        return "instrPerCore must be at least 1 (zero-instruction runs "
+               "produce no metrics)";
+    if (cfg.mem.nmBytes == 0)
+        return "mem.nmBytes must be non-zero";
+    if (cfg.mem.nmBytes >= cfg.mem.fmBytes)
+        return detail::concat("NM capacity (", formatBytes(cfg.mem.nmBytes),
+                              ") must be smaller than FM capacity (",
+                              formatBytes(cfg.mem.fmBytes), ")");
+    return {};
 }
 
 std::string

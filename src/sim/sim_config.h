@@ -39,6 +39,13 @@ struct SystemConfig
 /** The paper's Table 1 configuration with @p nmBytes of near memory. */
 SystemConfig table1Config(u64 nmBytes, u64 fmBytes = 16ull << 30);
 
+/**
+ * Sanity-check @p cfg; returns "" when valid, otherwise an actionable
+ * reason. System's constructor rejects invalid configurations with
+ * h2_fatal instead of running into downstream UB.
+ */
+std::string validateSystemConfig(const SystemConfig &cfg);
+
 /** Human-readable rendering of a configuration (Table 1 bench). */
 std::string describeConfig(const SystemConfig &cfg);
 

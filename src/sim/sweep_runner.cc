@@ -18,7 +18,8 @@ std::string
 SweepRunner::key(const workloads::Workload &workload,
                  const std::string &designSpec)
 {
-    return workload.name + "|" + designSpec;
+    // Canonical spec form: "dfc" and "dfc:1024" memoize as one run.
+    return workload.name + "|" + canonicalDesignSpec(designSpec);
 }
 
 void

@@ -11,6 +11,8 @@ System::System(const SystemConfig &config,
                const DesignFactory &factory)
     : cfg(config), wl(workload)
 {
+    if (std::string err = validateSystemConfig(cfg); !err.empty())
+        h2_fatal("invalid system config: ", err);
     cfg.hier.numCores = cfg.numCores;
     hier = std::make_unique<cache::CacheHierarchy>(cfg.hier);
     llcView = std::make_unique<HierarchyLlcView>(*hier);

@@ -245,12 +245,20 @@ workloadsByClass(MpkiClass cls)
     return out;
 }
 
-const Workload &
-findWorkload(const std::string &name)
+const Workload *
+tryFindWorkload(const std::string &name)
 {
     for (const auto &w : allWorkloads())
         if (w.name == name)
-            return w;
+            return &w;
+    return nullptr;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    if (const Workload *w = tryFindWorkload(name))
+        return *w;
     h2_fatal("unknown workload: ", name);
 }
 

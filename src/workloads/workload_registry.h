@@ -75,6 +75,9 @@ const std::vector<Workload> &allWorkloads();
 /** The ten workloads of one MPKI class. */
 std::vector<Workload> workloadsByClass(MpkiClass cls);
 
+/** Lookup by name; nullptr if unknown. */
+const Workload *tryFindWorkload(const std::string &name);
+
 /** Lookup by name; fatal if unknown. */
 const Workload &findWorkload(const std::string &name);
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the shared JSON serializer (common/json.h) and the
+ * Metrics JSON/CSV emission built on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.h"
+#include "sim/metrics.h"
+
+namespace h2 {
+namespace {
+
+TEST(JsonWriter, CompactObject)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject()
+        .kv("name", "lbm")
+        .kv("count", u64(3))
+        .kv("ratio", 0.5)
+        .kv("ok", true)
+        .endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"lbm\",\"count\":3,\"ratio\":0.5,\"ok\":true}");
+}
+
+TEST(JsonWriter, PrettyNesting)
+{
+    JsonWriter w;
+    w.beginObject().key("runs").beginArray().value(u64(1)).value(u64(2))
+        .endArray().endObject();
+    EXPECT_EQ(w.str(), "{\n  \"runs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    JsonWriter w(false);
+    w.beginObject().key("a").beginArray().endArray().key("o")
+        .beginObject().endObject().endObject();
+    EXPECT_EQ(w.str(), "{\"a\":[],\"o\":{}}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w(false);
+    w.beginArray()
+        .value(std::nan(""))
+        .value(INFINITY)
+        .value(1.5)
+        .endArray();
+    EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, DoubleRoundTrip)
+{
+    // Shortest-representation formatting survives a parse round trip.
+    double v = 1.9841301329101368;
+    EXPECT_EQ(std::stod(JsonWriter::formatDouble(v)), v);
+    EXPECT_EQ(JsonWriter::formatDouble(0.0), "0");
+}
+
+TEST(MetricsJson, ContainsEveryScalarAndDetail)
+{
+    sim::Metrics m;
+    m.workload = "lbm";
+    m.design = "DFC-1024";
+    m.instructions = 42;
+    m.timePs = 1000;
+    m.ipc = 1.5;
+    m.detail.add("dfc.tagReads", 7.0);
+
+    std::string json = m.toJson();
+    EXPECT_NE(json.find("\"workload\": \"lbm\""), std::string::npos);
+    EXPECT_NE(json.find("\"design\": \"DFC-1024\""), std::string::npos);
+    EXPECT_NE(json.find("\"instructions\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"time_ps\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"dfc.tagReads\": 7"), std::string::npos);
+}
+
+TEST(MetricsCsv, RowMatchesHeaderWidth)
+{
+    sim::Metrics m;
+    m.workload = "lbm";
+    m.design = "BASELINE";
+    auto count = [](const std::string &s) {
+        size_t n = 1;
+        for (char c : s)
+            n += c == ',';
+        return n;
+    };
+    EXPECT_EQ(count(sim::Metrics::csvHeader()), count(m.toCsvRow()));
+}
+
+} // namespace
+} // namespace h2
