@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "common/parse.h"
+#include "workloads/workload_spec.h"
 
 namespace h2::bench {
 
@@ -32,12 +33,25 @@ BenchOptions::parse(int argc, char **argv)
             opts.jobs = static_cast<u32>(parseU64OrFatal("--jobs", value));
         else if (key == "--out")
             opts.jsonOut = std::string(value);
-        else
+        else if (key == "--workload") {
+            // Resolve now: a typo fails before the sweep starts, and
+            // trace files load once.
+            opts.workloadOverrides.push_back(
+                workloads::resolveWorkloadOrFatal(std::string(value)));
+        } else
             h2_fatal("unknown bench option: ", argv[i],
-                     " (use --mode=quick|full, --csv, --instr=N, "
-                     "--jobs=N, --out=PATH)");
+                     " (use --mode=quick|full, --csv, --workload=SPEC, "
+                     "--instr=N, --jobs=N, --out=PATH)");
     }
     return opts;
+}
+
+std::vector<workloads::Workload>
+BenchOptions::suite() const
+{
+    if (!workloadOverrides.empty())
+        return workloadOverrides;
+    return full ? workloads::allWorkloads() : workloads::quickSuite();
 }
 
 Table::Table(std::vector<std::string> columns, bool csv)

@@ -8,6 +8,9 @@
  *                       full: all 30 workloads, longer traces - the
  *                       numbers recorded in EXPERIMENTS.md.
  *   --csv               machine-readable output
+ *   --workload=<spec>   override the suite (repeatable): a Table 2
+ *                       name, trace:<path>, or mix:<a>+<b>[:<n>]
+ *                       (workloads/workload_spec.h)
  *   --instr=<n>         override instructions per core
  *   --jobs=<n>          parallel simulations (0 = all hardware threads;
  *                       the default). Results are bit-identical at any
@@ -33,6 +36,9 @@ struct BenchOptions
     u64 instrPerCore = 0; ///< 0 = pick by mode
     u32 jobs = 0;         ///< 0 = all hardware threads
     std::string jsonOut;  ///< --out=<path> for JSON-emitting benches
+    /** --workload=<spec> overrides, resolved at parse time so trace
+     *  files load exactly once. */
+    std::vector<workloads::Workload> workloadOverrides;
 
     static BenchOptions parse(int argc, char **argv);
 
@@ -44,11 +50,9 @@ struct BenchOptions
         return full ? 3'000'000 : 300'000;
     }
 
-    std::vector<workloads::Workload>
-    suite() const
-    {
-        return full ? workloads::allWorkloads() : workloads::quickSuite();
-    }
+    /** The workloads this bench run evaluates: the --workload
+     *  overrides when given, else the mode's registry suite. */
+    std::vector<workloads::Workload> suite() const;
 
     sim::RunConfig
     runConfig(u64 nmBytes) const

@@ -4,8 +4,9 @@
  * end-to-end outside of the test and bench harnesses.
  *
  * Usage:
- *   h2sim --design <spec> --workload <name> [options]
+ *   h2sim --design <spec> --workload <spec> [options]
  *   h2sim --experiment <file> [options]
+ *   h2sim --dump-trace <file> --workload <spec> [options]
  *   h2sim --list-workloads | --list-designs | --help
  *
  * The design-spec grammar shown by --help and --list-designs is
@@ -29,7 +30,9 @@
 #include "sim/design_registry.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "workloads/trace_file.h"
 #include "workloads/workload_registry.h"
+#include "workloads/workload_spec.h"
 
 namespace {
 
@@ -38,16 +41,22 @@ void printUsage(std::FILE *out)
     std::fputs(
         "h2sim - Hybrid2 hybrid-memory simulator (HPCA'20 reproduction)\n"
         "\n"
-        "Usage: h2sim --design <spec> --workload <name> [options]\n"
+        "Usage: h2sim --design <spec> --workload <spec> [options]\n"
         "       h2sim --experiment <file> [options]\n"
+        "       h2sim --dump-trace <file> --workload <spec> [options]\n"
         "\n"
         "Options:\n"
         "  --design <spec>      design spec (repeatable); see grammar below\n"
-        "  --workload <name>    workload from Table 2 (repeatable); see\n"
-        "                       --list-workloads\n"
+        "  --workload <spec>    workload spec (repeatable): a Table 2 name\n"
+        "                       (--list-workloads), trace:<path>, or\n"
+        "                       mix:<a>+<b>[+...][:<n>]\n"
         "  --experiment <file>  run a declarative sweep (designs x\n"
         "                       workloads x config) from a file; mutually\n"
         "                       exclusive with --design/--workload\n"
+        "  --dump-trace <file>  capture the --workload to a trace file\n"
+        "                       (no simulation): text format for .txt/.text\n"
+        "                       paths, compact binary otherwise; replay\n"
+        "                       with --workload trace:<file>\n"
         "  --format <f>         output format: text|json|csv [text]\n"
         "  --out <path>         write results to <path> instead of stdout\n"
         "  --nm-mib <n>         near-memory (HBM) capacity in MiB [1024]\n"
@@ -68,6 +77,8 @@ void printUsage(std::FILE *out)
         out);
     std::fputs(h2::sim::DesignRegistry::instance().grammarHelp().c_str(),
                out);
+    std::fputs("\n", out);
+    std::fputs(h2::workloads::workloadSpecGrammarHelp(), out);
 }
 
 [[noreturn]] void
@@ -107,6 +118,7 @@ int main(int argc, char **argv)
 
     sim::ExperimentSpec experiment;
     std::string experimentFile;
+    std::string dumpTracePath;
     std::string formatName;
     std::string outPath;
     bool jobsSet = false;
@@ -144,6 +156,8 @@ int main(int argc, char **argv)
             experiment.workloads.emplace_back(next("--workload"));
         } else if (arg == "--experiment") {
             experimentFile = next("--experiment");
+        } else if (arg == "--dump-trace") {
+            dumpTracePath = next("--dump-trace");
         } else if (arg == "--format") {
             formatName = next("--format");
             if (!sim::parseOutputFormat(formatName))
@@ -187,6 +201,47 @@ int main(int argc, char **argv)
         }
     }
 
+    if (!dumpTracePath.empty()) {
+        if (!experimentFile.empty())
+            usageError("--dump-trace is mutually exclusive with "
+                       "--experiment");
+        if (!experiment.designs.empty())
+            usageError("--dump-trace captures a workload, not a "
+                       "simulation; drop --design");
+        if (experiment.workloads.size() != 1)
+            usageError("--dump-trace needs exactly one --workload");
+        if (std::string cfgErr = sim::validateRunConfig(experiment.config);
+            !cfgErr.empty())
+            usageError("invalid run config: " + cfgErr);
+        std::string err;
+        auto w = workloads::resolveWorkload(experiment.workloads[0], &err);
+        if (!w)
+            usageError(err);
+        if (w->trace && w->traceStreams != experiment.config.numCores)
+            usageError("trace '" + experiment.workloads[0] +
+                       "' was captured with " +
+                       std::to_string(w->traceStreams) +
+                       " streams; re-capture it with --cores " +
+                       std::to_string(w->traceStreams));
+        // Capture exactly what a System run would consume: one stream
+        // per core, warmup + measured instructions each.
+        workloads::TraceData data = workloads::captureTrace(
+            *w, experiment.config.numCores, experiment.config.seed,
+            experiment.config.warmupInstrPerCore +
+                experiment.config.instrPerCore);
+        workloads::TraceFormat traceFormat =
+            workloads::traceFormatForPath(dumpTracePath);
+        workloads::writeTraceFile(dumpTracePath, data, traceFormat);
+        std::fprintf(stderr,
+                     "h2sim: wrote %llu records (%u streams, %s) to %s\n",
+                     static_cast<unsigned long long>(data.totalRecords()),
+                     data.meta.streams,
+                     traceFormat == workloads::TraceFormat::Text
+                         ? "text" : "binary",
+                     dumpTracePath.c_str());
+        return 0;
+    }
+
     if (!experimentFile.empty()) {
         if (!experiment.designs.empty() || !experiment.workloads.empty())
             usageError("--experiment is mutually exclusive with "
@@ -207,10 +262,19 @@ int main(int argc, char **argv)
         if (experiment.designs.empty() || experiment.workloads.empty())
             usageError("need at least one --design and one --workload "
                        "(or --experiment <file>)");
-        for (const auto &name : experiment.workloads)
-            if (!workloads::tryFindWorkload(name))
-                usageError("unknown workload '" + name +
-                           "' (see h2sim --list-workloads)");
+        for (const auto &spec : experiment.workloads) {
+            std::string err;
+            auto w = workloads::resolveWorkload(spec, &err);
+            if (!w)
+                usageError(err);
+            if (w->trace && w->traceStreams != experiment.config.numCores)
+                usageError("trace '" + spec + "' was captured with " +
+                           std::to_string(w->traceStreams) +
+                           " streams; run it with --cores " +
+                           std::to_string(w->traceStreams));
+            // Keep the resolved form: trace files load exactly once.
+            experiment.resolvedWorkloads.push_back(*std::move(w));
+        }
         if (std::string cfgErr = sim::validateRunConfig(experiment.config);
             !cfgErr.empty())
             usageError("invalid run config: " + cfgErr);

@@ -9,6 +9,7 @@
 #include "common/units.h"
 #include "sim/sweep_runner.h"
 #include "workloads/workload_registry.h"
+#include "workloads/workload_spec.h"
 
 namespace h2::sim {
 
@@ -85,12 +86,16 @@ ExperimentSpec::parse(std::string_view text, std::string *error)
                 return fail(lineNo, r.error);
             spec.designs.push_back(r.spec->toString());
         } else if (key == "workload") {
-            if (!workloads::tryFindWorkload(std::string(value)))
-                return fail(lineNo,
-                            detail::concat("unknown workload '", value,
-                                           "' (see h2sim "
-                                           "--list-workloads)"));
+            // Full spec grammar: registry names, trace:<path> (opened
+            // and validated now; the path is relative to the working
+            // directory), and mix:<a>+<b>[:<n>]. The resolved form is
+            // kept so the run never re-reads trace files.
+            std::string err;
+            auto w = workloads::resolveWorkload(std::string(value), &err);
+            if (!w)
+                return fail(lineNo, err);
             spec.workloads.emplace_back(value);
+            spec.resolvedWorkloads.push_back(*std::move(w));
         } else if (key == "nm-mib") {
             u64 v = 0;
             if (!tryParseU64(value, v))
@@ -158,6 +163,19 @@ ExperimentSpec::parse(std::string_view text, std::string *error)
         return fail(lineNo, "no 'design' directive");
     if (spec.workloads.empty())
         return fail(lineNo, "no 'workload' directive");
+    // Directives arrive in any order, so trace stream counts can only
+    // be checked against `cores` once the whole file is read.
+    for (size_t i = 0; i < spec.resolvedWorkloads.size(); ++i) {
+        const workloads::Workload &w = spec.resolvedWorkloads[i];
+        if (w.trace && w.traceStreams != spec.config.numCores) {
+            if (error)
+                *error = detail::concat(
+                    "experiment file: trace '", spec.workloads[i],
+                    "' was captured with ", w.traceStreams,
+                    " streams; set 'cores ", w.traceStreams, "'");
+            return std::nullopt;
+        }
+    }
     if (std::string err = validateRunConfig(spec.config); !err.empty()) {
         if (error)
             *error = detail::concat("experiment file: invalid run config: ",
@@ -188,30 +206,34 @@ runExperiment(const ExperimentSpec &spec, u32 jobsOverride)
     u32 jobs = jobsOverride ? jobsOverride : spec.jobs;
     SweepRunner runner(spec.config, jobs);
 
-    std::vector<const workloads::Workload *> suite;
-    suite.reserve(spec.workloads.size());
-    for (const auto &name : spec.workloads)
-        suite.push_back(&workloads::findWorkload(name));
+    std::vector<workloads::Workload> suite;
+    if (spec.resolvedWorkloads.size() == spec.workloads.size()) {
+        suite = spec.resolvedWorkloads;
+    } else {
+        suite.reserve(spec.workloads.size());
+        for (const auto &wlSpec : spec.workloads)
+            suite.push_back(workloads::resolveWorkloadOrFatal(wlSpec));
+    }
 
     // Submit everything up front so --jobs overlaps the simulations.
-    for (const workloads::Workload *w : suite) {
+    for (const workloads::Workload &w : suite) {
         if (spec.speedup)
-            runner.submit(*w, "baseline");
+            runner.submit(w, "baseline");
         for (const auto &design : spec.designs)
-            runner.submit(*w, design);
+            runner.submit(w, design);
     }
 
     std::vector<RunRecord> records;
     records.reserve(suite.size() * spec.designs.size());
-    for (const workloads::Workload *w : suite) {
+    for (const workloads::Workload &w : suite) {
         for (const auto &design : spec.designs) {
             RunRecord rec;
-            rec.workload = w->name;
+            rec.workload = w.name;
             rec.design = design;
-            rec.metrics = runner.run(*w, design);
+            rec.metrics = runner.run(w, design);
             if (spec.speedup) {
                 rec.hasSpeedup = true;
-                rec.speedup = runner.speedup(*w, design);
+                rec.speedup = runner.speedup(w, design);
             }
             records.push_back(std::move(rec));
         }

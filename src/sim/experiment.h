@@ -22,10 +22,12 @@
  *   format   json        # default output format (CLI --format wins)
  *
  * `key value` and `key=value` are both accepted. Design specs are
- * validated against the design registry at parse time, workload names
- * against the workload registry, and the assembled RunConfig against
- * validateRunConfig — a bad file is reported with its line number
- * before anything runs.
+ * validated against the design registry at parse time, workload specs
+ * against the full workload grammar (registry names, `trace:<path>`
+ * with the path taken relative to the working directory, and
+ * `mix:<a>+<b>[:<n>]` — see workloads/workload_spec.h), and the
+ * assembled RunConfig against validateRunConfig — a bad file is
+ * reported with its line number before anything runs.
  */
 
 #ifndef H2_SIM_EXPERIMENT_H
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "sim/runner.h"
+#include "workloads/workload_registry.h"
 
 namespace h2::sim {
 
@@ -44,7 +47,12 @@ struct ExperimentSpec
 {
     RunConfig config;
     std::vector<std::string> designs;   ///< canonical spec forms
-    std::vector<std::string> workloads; ///< validated workload names
+    std::vector<std::string> workloads; ///< validated workload specs
+
+    /** The parsed form of @c workloads (same order), filled by parse()
+     *  so runExperiment doesn't re-read trace files. Optional: when
+     *  empty (hand-built specs), runExperiment resolves on demand. */
+    std::vector<workloads::Workload> resolvedWorkloads;
     bool speedup = false;
     u32 jobs = 1;       ///< parallel simulations (0 = all cores)
     std::string format; ///< "" = caller's default; else text|json|csv

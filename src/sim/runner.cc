@@ -97,7 +97,7 @@ Runner::run(const workloads::Workload &workload,
             const std::string &designSpec)
 {
     std::string canonical = canonicalDesignSpec(designSpec);
-    std::string key = workload.name + "|" + canonical;
+    std::string key = workload.cacheName() + "|" + canonical;
     auto it = results.find(key);
     if (it != results.end())
         return it->second;

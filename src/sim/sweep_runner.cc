@@ -19,7 +19,9 @@ SweepRunner::key(const workloads::Workload &workload,
                  const std::string &designSpec)
 {
     // Canonical spec form: "dfc" and "dfc:1024" memoize as one run.
-    return workload.name + "|" + canonicalDesignSpec(designSpec);
+    // cacheName keeps a trace:<path> replay distinct from the synthetic
+    // workload it was captured from (they share Metrics.workload).
+    return workload.cacheName() + "|" + canonicalDesignSpec(designSpec);
 }
 
 void

@@ -178,4 +178,30 @@ PhasedGen::nextAddr()
     return windowBase + (rng.below(window) & ~Addr(7));
 }
 
+MixSource::MixSource(std::vector<std::unique_ptr<TraceSource>> mixParts,
+                     std::vector<Addr> partOffsets,
+                     std::vector<u32> partWeights)
+    : parts(std::move(mixParts)), offsets(std::move(partOffsets)),
+      weights(std::move(partWeights))
+{
+    h2_assert(!parts.empty() && parts.size() == offsets.size() &&
+                  parts.size() == weights.size(),
+              "MixSource vectors must be parallel and non-empty");
+    for (u32 w : weights)
+        h2_assert(w > 0, "MixSource weights must be non-zero");
+    leftInTurn = weights[0];
+}
+
+TraceRecord
+MixSource::next()
+{
+    TraceRecord rec = parts[turn]->next();
+    rec.vaddr += offsets[turn];
+    if (--leftInTurn == 0) {
+        turn = (turn + 1) % parts.size();
+        leftInTurn = weights[turn];
+    }
+    return rec;
+}
+
 } // namespace h2::workloads

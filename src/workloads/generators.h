@@ -187,6 +187,31 @@ class PhasedGen : public GeneratorBase
     u64 accessesInPhase = 0;
 };
 
+/**
+ * Deterministic weighted interleave of component sources, each offset
+ * into its own slice of a shared virtual space - the per-stream engine
+ * behind `mix:` workload specs (workloads/workload_spec.h). Records
+ * pass through unchanged except for the address offset, so each
+ * component keeps its own instruction gaps and read/write mix.
+ */
+class MixSource final : public TraceSource
+{
+  public:
+    /** @param weights records taken from part @c i per scheduling
+     *  round; all vectors must have equal, non-zero length. */
+    MixSource(std::vector<std::unique_ptr<TraceSource>> parts,
+              std::vector<Addr> offsets, std::vector<u32> weights);
+
+    TraceRecord next() override;
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> parts;
+    std::vector<Addr> offsets;
+    std::vector<u32> weights;
+    u32 turn = 0;
+    u32 leftInTurn;
+};
+
 } // namespace h2::workloads
 
 #endif // H2_WORKLOADS_GENERATORS_H

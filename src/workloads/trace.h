@@ -4,8 +4,11 @@
  *
  * The paper drives its simulator from Pin-captured SPEC2017/NAS traces;
  * this reproduction drives the same pipeline from deterministic
- * synthetic trace sources (one per paper benchmark, see
- * workload_registry.h) or from user-supplied traces.
+ * synthetic generators (one per paper benchmark, see
+ * workload_registry.h), from trace files captured with
+ * `h2sim --dump-trace` and replayed via `trace:<path>` specs
+ * (workloads/trace_file.h), or from interleaved multi-program mixes
+ * (`mix:` specs, workloads/workload_spec.h).
  */
 
 #ifndef H2_WORKLOADS_TRACE_H
@@ -21,6 +24,8 @@ struct TraceRecord
     u32 instGap = 0;  ///< non-memory instructions before this access
     Addr vaddr = 0;   ///< virtual byte address within the workload
     AccessType type = AccessType::Read;
+
+    bool operator==(const TraceRecord &) const = default;
 };
 
 /** An infinite, deterministic stream of trace records. */

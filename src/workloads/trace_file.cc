@@ -1,0 +1,672 @@
+#include "workloads/trace_file.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/parse.h"
+
+namespace h2::workloads {
+
+namespace {
+
+constexpr u8 kMagic[8] = {0x89, 'H', '2', 'T', 'R', 'A', 'C', 'E'};
+constexpr u32 kVersion = 1;
+constexpr u32 kMaxStreams = 1024;
+constexpr u32 kMaxMlp = 1024;
+constexpr u32 kMaxNameLen = 256;
+constexpr u32 kPage = 4096;
+
+/** Largest vaddr a single record may carry: per-stream space for
+ *  multi-program traces, the shared space for multi-threaded ones. */
+u64
+recordVaddrBound(const TraceMeta &m)
+{
+    return m.multithreaded ? m.virtualBytes : m.virtualBytes / m.streams;
+}
+
+/** Header sanity shared by both readers; "" when valid. */
+std::string
+validateMeta(const TraceMeta &m)
+{
+    if (m.streams == 0 || m.streams > kMaxStreams)
+        return detail::concat("streams must be in [1, ", kMaxStreams,
+                              "], got ", m.streams);
+    if (m.footprintBytes < kPage)
+        return detail::concat("footprint must be at least ", kPage,
+                              " bytes, got ", m.footprintBytes);
+    if (m.virtualBytes < kPage)
+        return detail::concat("vspace must be at least ", kPage,
+                              " bytes, got ", m.virtualBytes);
+    if (!m.multithreaded && m.virtualBytes % (u64(m.streams) * kPage) != 0)
+        return detail::concat(
+            "vspace of a multi-program trace must be a multiple of "
+            "streams x 4096 (",
+            u64(m.streams) * kPage, "), got ", m.virtualBytes);
+    if (m.mlp == 0 || m.mlp > kMaxMlp)
+        return detail::concat("mlp must be in [1, ", kMaxMlp, "], got ",
+                              m.mlp);
+    if (m.name.size() > kMaxNameLen)
+        return detail::concat("name longer than ", kMaxNameLen, " bytes");
+    for (char c : m.name)
+        if (static_cast<unsigned char>(c) <= ' ' ||
+            static_cast<unsigned char>(c) > 0x7e)
+            return "name must be printable ASCII without spaces";
+    return {};
+}
+
+/** Streams must be non-empty so a replaying core always has records. */
+std::string
+validateStreams(const TraceData &d)
+{
+    if (d.streams.size() != d.meta.streams)
+        return detail::concat("expected ", d.meta.streams,
+                              " streams, got ", d.streams.size());
+    for (u32 s = 0; s < d.streams.size(); ++s)
+        if (d.streams[s].empty())
+            return detail::concat("stream ", s, " has no records");
+    return {};
+}
+
+// ----- varint / zigzag helpers (binary format) -----------------------
+
+void
+putVarint(std::string &out, u64 v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(v | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+u64
+zigzag(s64 v)
+{
+    return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
+}
+
+s64
+unzigzag(u64 v)
+{
+    return static_cast<s64>(v >> 1) ^ -static_cast<s64>(v & 1);
+}
+
+void
+putU32(std::string &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putU64(std::string &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/** Bounds-checked little-endian reader over a loaded binary file. */
+struct BinReader
+{
+    std::string_view buf;
+    u64 pos = 0;
+    std::string err = {}; ///< first error, with its byte offset
+
+    bool ok() const { return err.empty(); }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err.empty())
+            err = detail::concat(why, " at byte offset ", pos);
+        return false;
+    }
+
+    bool
+    need(u64 n, const char *what)
+    {
+        if (buf.size() - pos < n)
+            return fail(detail::concat("truncated file: need ", n,
+                                       " bytes for ", what, ", have ",
+                                       buf.size() - pos));
+        return true;
+    }
+
+    bool
+    rdU32(u32 &out, const char *what)
+    {
+        if (!need(4, what))
+            return false;
+        out = 0;
+        for (int i = 0; i < 4; ++i)
+            out |= u32(static_cast<u8>(buf[pos + i])) << (8 * i);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    rdU64(u64 &out, const char *what)
+    {
+        if (!need(8, what))
+            return false;
+        out = 0;
+        for (int i = 0; i < 8; ++i)
+            out |= u64(static_cast<u8>(buf[pos + i])) << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    rdVarint(u64 &out, const char *what)
+    {
+        out = 0;
+        for (u32 shift = 0; shift < 64; shift += 7) {
+            if (pos >= buf.size())
+                return fail(detail::concat("truncated file: unterminated "
+                                           "varint in ",
+                                           what));
+            u8 byte = static_cast<u8>(buf[pos++]);
+            out |= u64(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return true;
+        }
+        return fail(detail::concat("varint in ", what,
+                                   " exceeds 64 bits"));
+    }
+};
+
+std::optional<TraceData>
+parseBinary(const std::string &path, std::string_view content,
+            std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = detail::concat("trace file '", path, "': ", why);
+        return std::nullopt;
+    };
+
+    BinReader in{content};
+    if (content.size() < sizeof(kMagic) ||
+        !std::equal(std::begin(kMagic), std::end(kMagic), content.begin(),
+                    [](u8 m, char c) { return m == static_cast<u8>(c); }))
+        return fail("bad magic (not an h2trace binary file)");
+    in.pos = sizeof(kMagic);
+
+    u32 version = 0;
+    if (!in.rdU32(version, "version"))
+        return fail(in.err);
+    if (version != kVersion)
+        return fail(detail::concat("unsupported version ", version,
+                                   " (this build reads version ",
+                                   kVersion, ")"));
+
+    TraceData d;
+    u32 mtByte32 = 0; // read as u8 + 3 reserved below
+    if (!in.rdU32(d.meta.streams, "streams") ||
+        !in.rdU64(d.meta.footprintBytes, "footprint") ||
+        !in.rdU64(d.meta.virtualBytes, "vspace") ||
+        !in.rdU32(d.meta.mlp, "mlp") || !in.rdU32(mtByte32, "flags"))
+        return fail(in.err);
+    if ((mtByte32 & 0xff) > 1 || (mtByte32 >> 8) != 0)
+        return fail(detail::concat("bad flags word ", mtByte32,
+                                   " (multithreaded byte must be 0|1, "
+                                   "reserved bytes zero) at byte offset ",
+                                   in.pos - 4));
+    d.meta.multithreaded = (mtByte32 & 0xff) != 0;
+
+    u32 nameLen = 0;
+    if (!in.rdU32(nameLen, "name length"))
+        return fail(in.err);
+    if (nameLen > kMaxNameLen)
+        return fail(detail::concat("name length ", nameLen, " exceeds ",
+                                   kMaxNameLen, " at byte offset ",
+                                   in.pos - 4));
+    if (!in.need(nameLen, "name"))
+        return fail(in.err);
+    d.meta.name.assign(content.substr(in.pos, nameLen));
+    in.pos += nameLen;
+
+    if (std::string why = validateMeta(d.meta); !why.empty())
+        return fail(why);
+
+    std::vector<u64> counts(d.meta.streams);
+    u64 total = 0;
+    for (u32 s = 0; s < d.meta.streams; ++s) {
+        if (!in.rdU64(counts[s], "record count"))
+            return fail(in.err);
+        // Per-stream guard before summing: a forged count near 2^64
+        // would otherwise overflow `total` past the check below.
+        if (counts[s] > content.size())
+            return fail(detail::concat("record counts claim ", counts[s],
+                                       " records in stream ", s,
+                                       " but the whole file is only ",
+                                       content.size(), " bytes"));
+        total += counts[s];
+    }
+    // Every record encodes to at least two bytes, so an impossible
+    // count is caught before allocating for it.
+    if (total > (content.size() - in.pos) / 2 + 1)
+        return fail(detail::concat("record counts claim ", total,
+                                   " records but only ",
+                                   content.size() - in.pos,
+                                   " bytes follow the header"));
+
+    const u64 bound = recordVaddrBound(d.meta);
+    d.streams.resize(d.meta.streams);
+    for (u32 s = 0; s < d.meta.streams; ++s) {
+        d.streams[s].reserve(counts[s]);
+        u64 prev = 0;
+        for (u64 i = 0; i < counts[s]; ++i) {
+            u64 gapAndType = 0, delta = 0;
+            u64 recordStart = in.pos;
+            if (!in.rdVarint(gapAndType, "record gap") ||
+                !in.rdVarint(delta, "record address delta"))
+                return fail(in.err);
+            TraceRecord rec;
+            if ((gapAndType >> 1) > ~u32(0))
+                return fail(detail::concat(
+                    "instruction gap ", gapAndType >> 1,
+                    " overflows 32 bits at byte offset ", recordStart));
+            rec.instGap = static_cast<u32>(gapAndType >> 1);
+            rec.type = (gapAndType & 1) ? AccessType::Write
+                                        : AccessType::Read;
+            rec.vaddr = prev + static_cast<u64>(unzigzag(delta));
+            if (rec.vaddr >= bound)
+                return fail(detail::concat(
+                    "record address ", rec.vaddr,
+                    " outside the trace's address space (bound ", bound,
+                    ") at byte offset ", recordStart));
+            prev = rec.vaddr;
+            d.streams[s].push_back(rec);
+        }
+    }
+    if (in.pos != content.size())
+        return fail(detail::concat("trailing data after the last record "
+                                   "at byte offset ",
+                                   in.pos));
+    if (std::string why = validateStreams(d); !why.empty())
+        return fail(why);
+    return d;
+}
+
+// ----- text format ---------------------------------------------------
+
+std::vector<std::string_view>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.push_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+/** Decimal, or hexadecimal with an 0x prefix. */
+bool
+tryParseAddr(std::string_view value, u64 &out)
+{
+    if (value.starts_with("0x") || value.starts_with("0X")) {
+        value.remove_prefix(2);
+        if (value.empty())
+            return false;
+        u64 v = 0;
+        auto [ptr, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), v, 16);
+        if (ec != std::errc{} || ptr != value.data() + value.size())
+            return false;
+        out = v;
+        return true;
+    }
+    return tryParseU64(value, out);
+}
+
+std::optional<TraceData>
+parseText(const std::string &path, std::string_view content,
+          std::string *error)
+{
+    int lineNo = 0;
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = detail::concat("trace file '", path, "' line ",
+                                    lineNo, ": ", why);
+        return std::nullopt;
+    };
+
+    std::istringstream in{std::string(content)};
+    std::string raw;
+
+    // Comment/blank-skipping line reader; returns false at EOF.
+    auto nextLine = [&](std::string_view &line) {
+        while (std::getline(in, raw)) {
+            ++lineNo;
+            std::string_view l = raw;
+            if (auto hash = l.find('#'); hash != std::string_view::npos)
+                l = l.substr(0, hash);
+            while (!l.empty() && std::isspace(static_cast<unsigned char>(
+                                     l.back())))
+                l.remove_suffix(1);
+            while (!l.empty() && std::isspace(static_cast<unsigned char>(
+                                     l.front())))
+                l.remove_prefix(1);
+            if (!l.empty()) {
+                line = l;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::string_view line;
+    if (!nextLine(line))
+        return fail("empty trace file (expected 'h2trace text 1')");
+    {
+        auto tok = splitWhitespace(line);
+        if (tok.size() != 3 || tok[0] != "h2trace" || tok[1] != "text")
+            return fail(detail::concat("bad header '", line,
+                                       "' (expected 'h2trace text 1')"));
+        u64 version = 0;
+        if (!tryParseU64(tok[2], version) || version != kVersion)
+            return fail(detail::concat("unsupported version '", tok[2],
+                                       "' (this build reads version ",
+                                       kVersion, ")"));
+    }
+
+    TraceData d;
+    bool haveStreams = false, haveFootprint = false, haveVspace = false;
+    bool sawSeparator = false;
+    while (nextLine(line)) {
+        if (line == "%%") {
+            sawSeparator = true;
+            break;
+        }
+        auto tok = splitWhitespace(line);
+        std::string_view key = tok[0];
+        if (tok.size() != 2)
+            return fail(detail::concat("bad header directive '", line,
+                                       "' (expected 'key value')"));
+        std::string_view value = tok[1];
+        u64 v = 0;
+        if (key == "name") {
+            d.meta.name = std::string(value);
+        } else if (key == "streams") {
+            if (!tryParseU64(value, v) || v == 0 || v > kMaxStreams)
+                return fail(detail::concat("bad streams '", value,
+                                           "' (expected 1..",
+                                           kMaxStreams, ")"));
+            d.meta.streams = static_cast<u32>(v);
+            haveStreams = true;
+        } else if (key == "multithreaded") {
+            if (value != "0" && value != "1")
+                return fail(detail::concat("bad multithreaded '", value,
+                                           "' (expected 0|1)"));
+            d.meta.multithreaded = value == "1";
+        } else if (key == "footprint") {
+            if (!tryParseU64(value, v))
+                return fail(detail::concat("bad footprint '", value,
+                                           "' (expected bytes)"));
+            d.meta.footprintBytes = v;
+            haveFootprint = true;
+        } else if (key == "vspace") {
+            if (!tryParseU64(value, v))
+                return fail(detail::concat("bad vspace '", value,
+                                           "' (expected bytes)"));
+            d.meta.virtualBytes = v;
+            haveVspace = true;
+        } else if (key == "mlp") {
+            if (!tryParseU64(value, v) || v == 0 || v > kMaxMlp)
+                return fail(detail::concat("bad mlp '", value,
+                                           "' (expected 1..", kMaxMlp,
+                                           ")"));
+            d.meta.mlp = static_cast<u32>(v);
+        } else {
+            return fail(detail::concat("unknown header directive '", key,
+                                       "'"));
+        }
+    }
+    if (!sawSeparator)
+        return fail("missing '%%' header/record separator");
+    if (!haveStreams)
+        return fail("header is missing the 'streams' directive");
+    if (!haveFootprint)
+        return fail("header is missing the 'footprint' directive");
+    if (!haveVspace) {
+        // Default mirrors Workload::totalVirtualBytes for hand-written
+        // traces: shared space when multithreaded, per-core 4 KiB-
+        // aligned partitions otherwise.
+        if (d.meta.multithreaded) {
+            d.meta.virtualBytes = d.meta.footprintBytes;
+        } else {
+            u64 per = d.meta.footprintBytes / d.meta.streams;
+            per = std::max<u64>(per & ~u64(kPage - 1), kPage);
+            d.meta.virtualBytes = per * d.meta.streams;
+        }
+    }
+    if (std::string why = validateMeta(d.meta); !why.empty())
+        return fail(why);
+
+    const u64 bound = recordVaddrBound(d.meta);
+    d.streams.resize(d.meta.streams);
+    while (nextLine(line)) {
+        auto tok = splitWhitespace(line);
+        if (tok.size() != 4)
+            return fail(detail::concat(
+                "bad record '", line,
+                "' (expected '<stream> <instGap> <vaddr> <R|W>')"));
+        u64 stream = 0, gap = 0;
+        TraceRecord rec;
+        if (!tryParseU64(tok[0], stream) || stream >= d.meta.streams)
+            return fail(detail::concat("bad stream id '", tok[0],
+                                       "' (trace has ", d.meta.streams,
+                                       " streams)"));
+        if (!tryParseU64(tok[1], gap) || gap > ~u32(0))
+            return fail(detail::concat("bad instruction gap '", tok[1],
+                                       "' (expected a 32-bit integer)"));
+        rec.instGap = static_cast<u32>(gap);
+        if (!tryParseAddr(tok[2], rec.vaddr))
+            return fail(detail::concat("bad address '", tok[2],
+                                       "' (expected decimal or 0x hex)"));
+        if (rec.vaddr >= bound)
+            return fail(detail::concat(
+                "address ", rec.vaddr,
+                " outside the trace's address space (bound ", bound,
+                ")"));
+        if (tok[3] == "R")
+            rec.type = AccessType::Read;
+        else if (tok[3] == "W")
+            rec.type = AccessType::Write;
+        else
+            return fail(detail::concat("bad access type '", tok[3],
+                                       "' (expected R or W)"));
+        d.streams[stream].push_back(rec);
+    }
+    if (std::string why = validateStreams(d); !why.empty())
+        return fail(why);
+    return d;
+}
+
+} // namespace
+
+u64
+TraceData::totalRecords() const
+{
+    u64 n = 0;
+    for (const auto &s : streams)
+        n += s.size();
+    return n;
+}
+
+TraceFormat
+traceFormatForPath(const std::string &path)
+{
+    auto endsWith = [&](std::string_view suffix) {
+        return path.size() >= suffix.size() &&
+               std::string_view(path).substr(path.size() - suffix.size()) ==
+                   suffix;
+    };
+    return endsWith(".txt") || endsWith(".text") ? TraceFormat::Text
+                                                 : TraceFormat::Binary;
+}
+
+TraceData
+captureTrace(const Workload &workload, u32 numCores, u64 seed,
+             u64 instrPerStream)
+{
+    h2_assert(numCores > 0, "captureTrace needs at least one core");
+    h2_assert(instrPerStream > 0,
+              "captureTrace needs a non-zero instruction budget");
+
+    TraceData d;
+    d.meta.name = workload.name;
+    d.meta.streams = numCores;
+    d.meta.multithreaded = workload.multithreaded;
+    d.meta.footprintBytes = workload.footprintBytes;
+    d.meta.virtualBytes = workload.totalVirtualBytes(numCores);
+    d.meta.mlp = workload.mlp;
+    if (std::string why = validateMeta(d.meta); !why.empty())
+        h2_fatal("cannot capture '", workload.name, "': ", why);
+
+    d.streams.resize(numCores);
+    for (u32 c = 0; c < numCores; ++c) {
+        auto src = workload.makeSource(c, numCores, seed);
+        // Same stepping as CoreModel: one record per step, each worth
+        // instGap + 1 instructions, stopping once the budget is met.
+        u64 instrs = 0;
+        while (instrs < instrPerStream) {
+            TraceRecord rec = src->next();
+            instrs += u64(rec.instGap) + 1;
+            d.streams[c].push_back(rec);
+        }
+    }
+    return d;
+}
+
+void
+writeTraceFile(const std::string &path, const TraceData &data,
+               TraceFormat format)
+{
+    if (std::string why = validateMeta(data.meta); !why.empty())
+        h2_fatal("cannot write trace '", path, "': ", why);
+    if (std::string why = validateStreams(data); !why.empty())
+        h2_fatal("cannot write trace '", path, "': ", why);
+
+    std::string out;
+    const TraceMeta &m = data.meta;
+    if (format == TraceFormat::Text) {
+        std::ostringstream os;
+        os << "h2trace text " << kVersion << "\n";
+        if (!m.name.empty())
+            os << "name " << m.name << "\n";
+        os << "streams " << m.streams << "\n"
+           << "multithreaded " << (m.multithreaded ? 1 : 0) << "\n"
+           << "footprint " << m.footprintBytes << "\n"
+           << "vspace " << m.virtualBytes << "\n"
+           << "mlp " << m.mlp << "\n"
+           << "%%\n";
+        char buf[64];
+        for (u32 s = 0; s < m.streams; ++s)
+            for (const TraceRecord &rec : data.streams[s]) {
+                std::snprintf(buf, sizeof(buf), "%u %u 0x%llx %c\n", s,
+                              rec.instGap,
+                              static_cast<unsigned long long>(rec.vaddr),
+                              rec.type == AccessType::Write ? 'W' : 'R');
+                os << buf;
+            }
+        out = os.str();
+    } else {
+        out.append(reinterpret_cast<const char *>(kMagic),
+                   sizeof(kMagic));
+        putU32(out, kVersion);
+        putU32(out, m.streams);
+        putU64(out, m.footprintBytes);
+        putU64(out, m.virtualBytes);
+        putU32(out, m.mlp);
+        putU32(out, m.multithreaded ? 1 : 0); // u8 flag + 3 reserved
+        putU32(out, static_cast<u32>(m.name.size()));
+        out += m.name;
+        for (const auto &stream : data.streams)
+            putU64(out, stream.size());
+        for (const auto &stream : data.streams) {
+            u64 prev = 0;
+            for (const TraceRecord &rec : stream) {
+                putVarint(out, (u64(rec.instGap) << 1) |
+                                   (rec.type == AccessType::Write));
+                putVarint(out, zigzag(static_cast<s64>(rec.vaddr) -
+                                      static_cast<s64>(prev)));
+                prev = rec.vaddr;
+            }
+        }
+    }
+
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        h2_fatal("cannot write trace file '", path, "'");
+    file.write(out.data(), static_cast<std::streamsize>(out.size()));
+    file.close();
+    if (!file)
+        h2_fatal("error writing trace file '", path, "'");
+}
+
+std::optional<TraceData>
+readTraceFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = detail::concat("cannot read trace file '", path,
+                                    "'");
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string content = buf.str();
+    if (content.empty()) {
+        if (error)
+            *error = detail::concat("trace file '", path, "' is empty");
+        return std::nullopt;
+    }
+    // Binary files open with a 0x89 byte no text trace can start with.
+    if (static_cast<u8>(content[0]) == kMagic[0])
+        return parseBinary(path, content, error);
+    return parseText(path, content, error);
+}
+
+FileTraceSource::FileTraceSource(std::shared_ptr<const TraceData> traceData,
+                                 u32 stream)
+    : data(std::move(traceData))
+{
+    h2_assert(data != nullptr, "FileTraceSource needs trace data");
+    h2_assert(stream < data->streams.size(),
+              "stream index out of range");
+    records = &data->streams[stream];
+    h2_assert(!records->empty(), "empty trace stream");
+}
+
+TraceRecord
+FileTraceSource::next()
+{
+    if (pos == records->size()) {
+        if (!warnedWrap) {
+            h2_warn("trace '", data->meta.name,
+                    "' exhausted after ", records->size(),
+                    " records; looping (captured for a smaller "
+                    "instruction budget than this run)");
+            warnedWrap = true;
+        }
+        pos = 0;
+    }
+    return (*records)[pos++];
+}
+
+} // namespace h2::workloads

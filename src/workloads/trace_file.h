@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Trace-file I/O: capture any TraceSource-driven workload to disk and
+ * replay it bit-identically through the same simulation pipeline.
+ *
+ * Two on-disk formats share one in-memory representation (TraceData):
+ *
+ * Text (one record per line; hand-editable, diff-friendly):
+ *
+ *   h2trace text 1          # format line: magic word, format, version
+ *   name lbm                # header directives, then a %% separator
+ *   streams 2
+ *   multithreaded 0
+ *   footprint 3328599654
+ *   vspace 3328597504
+ *   mlp 8
+ *   %%
+ *   0 19 0x1a40 R           # <stream> <instGap> <vaddr> <R|W>
+ *   1 19 0x880 W
+ *
+ * Binary (compact; little-endian, delta-encoded):
+ *
+ *   offset  size  field
+ *   0       8     magic  { 0x89 'H' '2' 'T' 'R' 'A' 'C' 'E' }
+ *   8       4     version (= 1)
+ *   12      4     streams
+ *   16      8     footprintBytes
+ *   24      8     virtualBytes
+ *   32      4     mlp
+ *   36      1     multithreaded (0|1)
+ *   37      3     reserved (zero)
+ *   40      4     name length, then that many name bytes
+ *   ...     8*n   per-stream record counts
+ *   ...           records, stream-major; each record is two LEB128
+ *                 varints: (instGap << 1 | isWrite) and the zigzag
+ *                 delta of vaddr against the stream's previous vaddr
+ *
+ * Readers validate everything on open (magic, version, header ranges,
+ * record bounds, truncation) and report errors with the offending line
+ * (text) or byte offset (binary); a malformed file can never crash the
+ * simulator. Format detection is automatic: binary files start with a
+ * 0x89 byte that no text trace can begin with.
+ */
+
+#ifndef H2_WORKLOADS_TRACE_FILE_H
+#define H2_WORKLOADS_TRACE_FILE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload_registry.h"
+
+namespace h2::workloads {
+
+enum class TraceFormat : u8 { Text, Binary };
+
+/** Pick a format for @p path: ".txt"/".text" mean text, else binary. */
+TraceFormat traceFormatForPath(const std::string &path);
+
+/** Everything a replay needs to rebuild the captured Workload's
+ *  simulation-visible behaviour (see Workload::makeSource). */
+struct TraceMeta
+{
+    std::string name;        ///< captured workload's name (Metrics identity)
+    u32 streams = 1;         ///< per-core record streams; replay needs
+                             ///< numCores == streams
+    bool multithreaded = false;
+    u64 footprintBytes = 0;  ///< reported footprint (Metrics identity)
+    u64 virtualBytes = 0;    ///< total virtual space the records address
+    u32 mlp = 8;             ///< per-core outstanding-miss limit
+
+    bool operator==(const TraceMeta &) const = default;
+};
+
+/** A fully-loaded multi-stream trace. */
+struct TraceData
+{
+    TraceMeta meta;
+    std::vector<std::vector<TraceRecord>> streams;
+
+    u64 totalRecords() const;
+};
+
+/**
+ * Capture @p workload exactly as a System would consume it: one stream
+ * per core, each covering at least @p instrPerStream instructions
+ * (records stop at the first one that crosses the budget, matching
+ * CoreModel's stepping). Works for any workload kind - synthetic,
+ * mix, or an already-loaded trace.
+ */
+TraceData captureTrace(const Workload &workload, u32 numCores, u64 seed,
+                       u64 instrPerStream);
+
+/** Serialize @p data to @p path; fatal on I/O failure. */
+void writeTraceFile(const std::string &path, const TraceData &data,
+                    TraceFormat format);
+
+/** Parse and validate @p path (format auto-detected). On failure
+ *  returns nullopt and sets @p error to a message naming the file and
+ *  the offending line (text) or byte offset (binary). */
+std::optional<TraceData> readTraceFile(const std::string &path,
+                                       std::string *error);
+
+/** Replays one captured stream; loops (with a one-time warning) if the
+ *  run consumes more instructions than were captured. */
+class FileTraceSource final : public TraceSource
+{
+  public:
+    FileTraceSource(std::shared_ptr<const TraceData> data, u32 stream);
+
+    TraceRecord next() override;
+
+  private:
+    std::shared_ptr<const TraceData> data;
+    const std::vector<TraceRecord> *records;
+    u64 pos = 0;
+    bool warnedWrap = false;
+};
+
+} // namespace h2::workloads
+
+#endif // H2_WORKLOADS_TRACE_FILE_H

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "workloads/trace_file.h"
 
 namespace h2::workloads {
 
@@ -19,6 +20,9 @@ to_string(MpkiClass cls)
 u64
 Workload::perCoreFootprint(u32 numCores) const
 {
+    if (trace)
+        return multithreaded ? traceVirtualBytes
+                             : traceVirtualBytes / traceStreams;
     if (multithreaded)
         return footprintBytes;
     u64 per = footprintBytes / numCores;
@@ -28,6 +32,16 @@ Workload::perCoreFootprint(u32 numCores) const
 u64
 Workload::totalVirtualBytes(u32 numCores) const
 {
+    if (trace)
+        return traceVirtualBytes;
+    if (!mixParts.empty()) {
+        // One page-aligned slice per component in a shared space.
+        u64 total = 0;
+        for (const Workload &part : mixParts)
+            total += (part.totalVirtualBytes(numCores) + 4095) &
+                     ~u64(4095);
+        return total;
+    }
     if (multithreaded)
         return footprintBytes;
     return perCoreFootprint(numCores) * numCores;
@@ -36,6 +50,37 @@ Workload::totalVirtualBytes(u32 numCores) const
 std::unique_ptr<TraceSource>
 Workload::makeSource(u32 core, u32 numCores, u64 seed) const
 {
+    if (trace) {
+        if (numCores != traceStreams)
+            h2_fatal("trace '", cacheName(), "' was captured with ",
+                     traceStreams, " streams; run it with --cores ",
+                     traceStreams, " (got ", numCores, ")");
+        return std::make_unique<FileTraceSource>(trace, core);
+    }
+    if (!mixParts.empty()) {
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        std::vector<Addr> offsets;
+        std::vector<u32> weights;
+        Addr base = 0;
+        for (size_t i = 0; i < mixParts.size(); ++i) {
+            const Workload &part = mixParts[i];
+            // Per-stream offsetting: each component instance lands in
+            // its own region (multi-program parts additionally split
+            // per core, exactly as a standalone run of that part).
+            Addr subBase = part.multithreaded
+                ? 0 : Addr(core) * part.perCoreFootprint(numCores);
+            sources.push_back(part.makeSource(
+                core, numCores, seed + i * 0x9e3779b97f4a7c15ULL));
+            offsets.push_back(base + subBase);
+            weights.push_back(i == 0 ? mixWeight : 1);
+            base += (part.totalVirtualBytes(numCores) + 4095) &
+                    ~u64(4095);
+        }
+        return std::make_unique<MixSource>(std::move(sources),
+                                           std::move(offsets),
+                                           std::move(weights));
+    }
+
     GenParams p;
     p.footprintBytes = perCoreFootprint(numCores);
     p.memRatio = memRatio;

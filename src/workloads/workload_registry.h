@@ -22,6 +22,8 @@
 
 namespace h2::workloads {
 
+struct TraceData; // workloads/trace_file.h
+
 enum class MpkiClass : u8 { High, Medium, Low };
 
 std::string to_string(MpkiClass cls);
@@ -57,6 +59,28 @@ struct Workload
 
     /** Paper-reported MPKI (Table 2), for reference output. */
     double paperMpki = 0.0;
+
+    // ----- non-synthetic workload kinds (workloads/workload_spec.h) --
+
+    /** The spec this workload was resolved from when it differs from
+     *  @c name ("trace:<path>" replays keep the captured workload's
+     *  name for Metrics identity); see cacheName(). */
+    std::string spec;
+
+    /** Captured records to replay instead of a generator. */
+    std::shared_ptr<const TraceData> trace;
+    u32 traceStreams = 0;      ///< per-core streams in @c trace
+    u64 traceVirtualBytes = 0; ///< virtual space @c trace's records use
+
+    /** Components of an interleaved `mix:` workload (empty otherwise);
+     *  each gets its own page-aligned virtual-space slice. */
+    std::vector<Workload> mixParts;
+    u32 mixWeight = 1; ///< records from mixParts[0] per 1 of the others
+
+    /** Key for memoized runners: distinguishes a trace replay from the
+     *  synthetic workload it was captured from. */
+    const std::string &cacheName() const { return spec.empty() ? name
+                                                               : spec; }
 
     /** Virtual footprint seen by one core's trace. */
     u64 perCoreFootprint(u32 numCores) const;

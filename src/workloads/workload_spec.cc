@@ -1,0 +1,213 @@
+#include "workloads/workload_spec.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/log.h"
+#include "common/parse.h"
+
+namespace h2::workloads {
+
+namespace {
+
+constexpr u32 kMaxMixRatio = 1024;
+constexpr u32 kPage = 4096;
+
+/**
+ * Loaded traces, shared by path while any resolved Workload is alive.
+ * weak_ptr keeps repeated resolutions of one spec (validation pass,
+ * then the run; every sweep worker) from re-reading the file without
+ * pinning finished traces in memory forever.
+ */
+std::shared_ptr<const TraceData>
+loadTraceCached(const std::string &path, std::string *error)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::weak_ptr<const TraceData>> cache;
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (auto it = cache.find(path); it != cache.end())
+        if (auto live = it->second.lock())
+            return live;
+    std::optional<TraceData> data = readTraceFile(path, error);
+    if (!data)
+        return nullptr;
+    auto shared = std::make_shared<const TraceData>(*std::move(data));
+    cache[path] = shared;
+    return shared;
+}
+
+std::optional<Workload>
+resolveMix(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = detail::concat("bad workload spec '", spec, "': ",
+                                    why);
+        return std::nullopt;
+    };
+
+    std::string_view rest = std::string_view(spec).substr(4);
+    u32 leadWeight = 1;
+    if (auto colon = rest.find(':'); colon != std::string_view::npos) {
+        std::string_view ratio = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+        u64 v = 0;
+        if (!tryParseU64(ratio, v) || v == 0 || v > kMaxMixRatio)
+            return fail(detail::concat(
+                "bad ratio '", ratio, "' (expected an integer in 1..",
+                kMaxMixRatio,
+                ": records from the first component per record from "
+                "each other)"));
+        leadWeight = static_cast<u32>(v);
+    }
+
+    std::vector<Workload> parts;
+    size_t start = 0;
+    for (size_t i = 0; i <= rest.size(); ++i) {
+        if (i < rest.size() && rest[i] != '+')
+            continue;
+        std::string_view name = rest.substr(start, i - start);
+        start = i + 1;
+        if (name.empty())
+            return fail("empty mix component");
+        const Workload *w = tryFindWorkload(std::string(name));
+        if (!w)
+            return fail(detail::concat(
+                "unknown mix component '", name,
+                "' (components must be registry workloads; see h2sim "
+                "--list-workloads)"));
+        parts.push_back(*w);
+    }
+    if (parts.size() < 2)
+        return fail("a mix needs at least two '+'-separated components");
+    return mixWorkload(std::move(parts), leadWeight);
+}
+
+} // namespace
+
+std::optional<Workload>
+resolveWorkload(const std::string &spec, std::string *error)
+{
+    if (spec.starts_with("trace:")) {
+        std::string path = spec.substr(6);
+        if (path.empty()) {
+            if (error)
+                *error = detail::concat("bad workload spec '", spec,
+                                        "': trace: needs a file path");
+            return std::nullopt;
+        }
+        auto data = loadTraceCached(path, error);
+        if (!data)
+            return std::nullopt;
+        return traceWorkload(path, std::move(data));
+    }
+    if (spec.starts_with("mix:"))
+        return resolveMix(spec, error);
+    if (const Workload *w = tryFindWorkload(spec))
+        return *w;
+    if (error)
+        *error = detail::concat(
+            "unknown workload '", spec,
+            "' (see h2sim --list-workloads; trace:<path> and "
+            "mix:<a>+<b>[:<n>] specs are also accepted)");
+    return std::nullopt;
+}
+
+Workload
+resolveWorkloadOrFatal(const std::string &spec)
+{
+    std::string error;
+    if (auto w = resolveWorkload(spec, &error))
+        return *std::move(w);
+    h2_fatal(error);
+}
+
+Workload
+traceWorkload(const std::string &path,
+              std::shared_ptr<const TraceData> data)
+{
+    h2_assert(data != nullptr, "traceWorkload needs loaded data");
+    const TraceMeta &meta = data->meta;
+
+    Workload w;
+    w.name = meta.name.empty() ? "trace:" + path : meta.name;
+    w.spec = "trace:" + path;
+    w.multithreaded = meta.multithreaded;
+    w.footprintBytes = meta.footprintBytes;
+    w.mlp = meta.mlp;
+    w.traceStreams = meta.streams;
+    w.traceVirtualBytes = meta.virtualBytes;
+
+    // Derived intensity, for reference output only (replay reads the
+    // recorded gaps directly).
+    u64 instrs = 0, writes = 0, records = 0;
+    for (const auto &stream : data->streams)
+        for (const TraceRecord &rec : stream) {
+            instrs += u64(rec.instGap) + 1;
+            writes += rec.type == AccessType::Write;
+            ++records;
+        }
+    w.memRatio = instrs ? double(records) / double(instrs) : 0.0;
+    w.writeFrac = records ? double(writes) / double(records) : 0.0;
+
+    w.trace = std::move(data);
+    return w;
+}
+
+Workload
+mixWorkload(std::vector<Workload> parts, u32 leadWeight)
+{
+    h2_assert(parts.size() >= 2, "a mix needs at least two components");
+    h2_assert(leadWeight >= 1, "mix lead weight must be at least 1");
+    for (const Workload &p : parts)
+        h2_assert(!p.trace && p.mixParts.empty(),
+                  "mix components must be synthetic registry workloads");
+
+    Workload m;
+    m.cls = MpkiClass::Low; // raised below to the hottest component
+    m.mlp = 0;              // raised below to the widest component
+    std::string names;
+    double weightSum = 0.0, instrSum = 0.0, writeSum = 0.0;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        const Workload &p = parts[i];
+        double weight = i == 0 ? leadWeight : 1.0;
+        names += (i ? "+" : "") + p.name;
+        m.footprintBytes += p.footprintBytes;
+        m.mlp = std::max(m.mlp, p.mlp);
+        // High < Medium < Low: the most memory-intensive component
+        // classes the mix.
+        m.cls = std::min(m.cls, p.cls);
+        weightSum += weight;
+        instrSum += weight / p.memRatio;
+        writeSum += weight * p.writeFrac;
+    }
+    m.name = "mix:";
+    m.name += names;
+    if (leadWeight > 1) {
+        m.name += ':';
+        m.name += std::to_string(leadWeight);
+    }
+    // One shared virtual space (the mix offsets each component into its
+    // own slice), so System places every stream from virtual base 0.
+    m.multithreaded = true;
+    m.memRatio = weightSum / instrSum;
+    m.writeFrac = writeSum / weightSum;
+    m.mixWeight = leadWeight;
+    m.mixParts = std::move(parts);
+    return m;
+}
+
+const char *
+workloadSpecGrammarHelp()
+{
+    return "Workload specs: a Table 2 name (--list-workloads), "
+           "trace:<path> to replay\n"
+           "a captured trace, or mix:<a>+<b>[+...][:<n>] for an "
+           "interleaved multi-\n"
+           "program mix (<n> records from <a> per record from each "
+           "other component).\n";
+}
+
+} // namespace h2::workloads

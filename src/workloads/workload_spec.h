@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The workload-spec grammar: every place that names a workload (the
+ * h2sim CLI, experiment files, bench --workload overrides) accepts
+ *
+ *   <name>                        a Table 2 registry workload
+ *   trace:<path>                  replay a captured trace file
+ *                                 (text or binary, see trace_file.h)
+ *   mix:<a>+<b>[+<c>...][:<n>]    interleaved multi-program mix of
+ *                                 registry workloads; each stream draws
+ *                                 <n> records from <a> per record from
+ *                                 every other component (default 1 =
+ *                                 round-robin), with each component
+ *                                 offset into its own slice of the
+ *                                 virtual address space
+ *
+ * Resolution validates eagerly - a trace file is opened and checked,
+ * mix components are looked up - so a bad spec fails with a precise
+ * message before any simulation starts.
+ */
+
+#ifndef H2_WORKLOADS_WORKLOAD_SPEC_H
+#define H2_WORKLOADS_WORKLOAD_SPEC_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "workloads/trace_file.h"
+#include "workloads/workload_registry.h"
+
+namespace h2::workloads {
+
+/** Resolve @p spec (grammar above). On failure returns nullopt and
+ *  sets @p error to an actionable message. Trace files are cached per
+ *  path while any resolved Workload still references them, so a sweep
+ *  naming the same trace many times loads it once. */
+std::optional<Workload> resolveWorkload(const std::string &spec,
+                                        std::string *error);
+
+/** Resolve @p spec; h2_fatal with the parse error on failure. */
+Workload resolveWorkloadOrFatal(const std::string &spec);
+
+/** Build the replay Workload for an already-loaded trace. The name
+ *  (and so the Metrics identity) is the captured workload's, while
+ *  cacheName() stays "trace:<path>" so replays never alias their
+ *  synthetic originals in the memoized runners. */
+Workload traceWorkload(const std::string &path,
+                       std::shared_ptr<const TraceData> data);
+
+/** Build an interleaved mix of @p parts (all registry workloads);
+ *  @p leadWeight records come from parts[0] per record from each other
+ *  part. The mix owns a single shared virtual space with one page-
+ *  aligned slice per component. */
+Workload mixWorkload(std::vector<Workload> parts, u32 leadWeight);
+
+/** One-line grammar summary for CLI help text. */
+const char *workloadSpecGrammarHelp();
+
+} // namespace h2::workloads
+
+#endif // H2_WORKLOADS_WORKLOAD_SPEC_H

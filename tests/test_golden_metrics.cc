@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Golden-metrics regression harness: full Metrics::toJson() snapshots
+ * (every scalar plus the per-design `detail` counters) for a small
+ * design x workload grid are checked into tests/golden/. Any silent
+ * behavioural drift — a changed eviction decision, a miscounted stat,
+ * a perturbed random stream — shows up as a snapshot diff even when
+ * every invariant-style unit test still passes.
+ *
+ * To regenerate after an intentional behavioural change:
+ *
+ *   H2_UPDATE_GOLDEN=1 ctest -R GoldenMetrics
+ *
+ * then review the diff like any other code change.
+ *
+ * Comparison is exact for integers and text; doubles tolerate 1e-9
+ * relative error so the snapshots survive compilers that contract
+ * a*b+c into fma (the checked-in values come from one build type, CI
+ * runs several).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/runner.h"
+#include "workloads/workload_spec.h"
+
+#ifndef H2_GOLDEN_DIR
+#error "H2_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace h2 {
+namespace {
+
+sim::RunConfig
+goldenConfig()
+{
+    // Small but non-trivial: two cores, warmup, default capacities.
+    sim::RunConfig cfg;
+    cfg.numCores = 2;
+    cfg.instrPerCore = 30'000;
+    cfg.warmupInstrPerCore = 10'000;
+    cfg.seed = 42;
+    return cfg;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("H2_UPDATE_GOLDEN");
+    return env && *env && std::string(env) != "0";
+}
+
+std::string
+goldenPath(const std::string &design, const std::string &workload)
+{
+    std::string file = design + "_" + workload + ".json";
+    for (char &c : file)
+        if (c == ':' || c == '+' || c == '/')
+            c = '-';
+    return std::string(H2_GOLDEN_DIR) + "/" + file;
+}
+
+/** True when both tokens are spelled as floating point ("." or exponent)
+ *  — only those get tolerance; integer counts must match exactly. */
+bool
+looksFloat(const std::string &tok)
+{
+    return tok.find_first_of(".eE") != std::string::npos &&
+           tok.find_first_of("0123456789") != std::string::npos;
+}
+
+bool
+isNumChar(char c)
+{
+    return (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+           c == 'e' || c == 'E';
+}
+
+/**
+ * Compare two JSON renderings: identical except that floating-point
+ * literals may differ by 1e-9 relative. Structure, keys, and integer
+ * values must match exactly. Returns "" on match, else a description
+ * of the first difference.
+ */
+std::string
+compareJson(const std::string &want, const std::string &got)
+{
+    size_t i = 0, j = 0;
+    while (i < want.size() && j < got.size()) {
+        if (want[i] == got[j] && !isNumChar(want[i])) {
+            ++i, ++j;
+            continue;
+        }
+        if (isNumChar(want[i]) && isNumChar(got[j])) {
+            size_t i0 = i, j0 = j;
+            while (i < want.size() && isNumChar(want[i]))
+                ++i;
+            while (j < got.size() && isNumChar(got[j]))
+                ++j;
+            std::string a = want.substr(i0, i - i0);
+            std::string b = got.substr(j0, j - j0);
+            if (a == b)
+                continue;
+            if (looksFloat(a) && looksFloat(b)) {
+                double da = std::strtod(a.c_str(), nullptr);
+                double db = std::strtod(b.c_str(), nullptr);
+                double scale = std::max(std::abs(da), std::abs(db));
+                if (std::abs(da - db) <= 1e-9 * std::max(scale, 1.0))
+                    continue;
+            }
+            return "value mismatch near offset " + std::to_string(i0) +
+                   ": golden has '" + a + "', run produced '" + b + "'";
+        }
+        return std::string("text mismatch near offset ") +
+               std::to_string(i) + ": golden has '" + want[i] +
+               "', run produced '" + got[j] + "'";
+    }
+    if (i != want.size() || j != got.size())
+        return "length mismatch (golden " + std::to_string(want.size()) +
+               " bytes, run " + std::to_string(got.size()) + ")";
+    return {};
+}
+
+void
+checkGolden(const std::string &design, const std::string &workloadSpec)
+{
+    sim::Metrics m = sim::simulateOne(
+        goldenConfig(), workloads::resolveWorkloadOrFatal(workloadSpec),
+        design);
+    std::string got = m.toJson();
+    std::string path = goldenPath(design, workloadSpec);
+
+    if (updateRequested()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << got;
+        SUCCEED() << "updated " << path;
+        return;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        FAIL() << "missing golden snapshot " << path
+               << " — generate it with H2_UPDATE_GOLDEN=1 and commit it";
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string diff = compareJson(buf.str(), got);
+    EXPECT_TRUE(diff.empty())
+        << design << " x " << workloadSpec << " drifted from " << path
+        << ":\n" << diff
+        << "\nIf the change is intentional, regenerate with "
+           "H2_UPDATE_GOLDEN=1 ctest -R GoldenMetrics and commit the "
+           "diff.\nFull run output:\n" << got;
+}
+
+// The grid: the three structurally different memory organizations
+// (flat baseline, cache-only DFC, cache+migration Hybrid2) against a
+// streaming high-MPKI, a pointer-heavy high-MPKI, and a low-MPKI
+// workload, plus one mix to pin the interleave behaviour.
+
+TEST(GoldenMetrics, BaselineLbm) { checkGolden("baseline", "lbm"); }
+TEST(GoldenMetrics, BaselineMcf) { checkGolden("baseline", "mcf"); }
+TEST(GoldenMetrics, BaselineXalanc) { checkGolden("baseline", "xalanc"); }
+TEST(GoldenMetrics, DfcLbm) { checkGolden("dfc", "lbm"); }
+TEST(GoldenMetrics, DfcMcf) { checkGolden("dfc", "mcf"); }
+TEST(GoldenMetrics, DfcXalanc) { checkGolden("dfc", "xalanc"); }
+TEST(GoldenMetrics, Hybrid2Lbm) { checkGolden("hybrid2", "lbm"); }
+TEST(GoldenMetrics, Hybrid2Mcf) { checkGolden("hybrid2", "mcf"); }
+TEST(GoldenMetrics, Hybrid2Xalanc) { checkGolden("hybrid2", "xalanc"); }
+TEST(GoldenMetrics, Hybrid2Mix)
+{
+    checkGolden("hybrid2", "mix:mcf+xalanc:2");
+}
+
+} // namespace
+} // namespace h2

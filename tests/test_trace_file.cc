@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Trace-file I/O tests: write/read round-trips for both formats,
+ * automatic format detection, replay-source wrapping, and — the bulk —
+ * rejection of malformed files with precise, non-crashing errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/trace_file.h"
+
+namespace h2::workloads {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "h2_trace_" + name;
+}
+
+void
+writeRaw(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << path;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string
+readRaw(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** A small hand-built two-stream multi-program trace. */
+TraceData
+sampleTrace()
+{
+    TraceData d;
+    d.meta.name = "sample";
+    d.meta.streams = 2;
+    d.meta.multithreaded = false;
+    d.meta.footprintBytes = 64 * 4096;
+    d.meta.virtualBytes = 64 * 4096; // 32 pages per stream
+    d.meta.mlp = 4;
+    d.streams.resize(2);
+    // Deltas both directions so zigzag encoding is exercised.
+    d.streams[0] = {{19, 0x1a40, AccessType::Read},
+                    {0, 0x40, AccessType::Write},
+                    {7, 0x1f000, AccessType::Read}};
+    d.streams[1] = {{3, 0x880, AccessType::Write},
+                    {100, 0x0, AccessType::Read}};
+    return d;
+}
+
+void
+expectEqual(const TraceData &a, const TraceData &b)
+{
+    EXPECT_EQ(a.meta, b.meta);
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (size_t s = 0; s < a.streams.size(); ++s)
+        EXPECT_EQ(a.streams[s], b.streams[s]) << "stream " << s;
+}
+
+/** Expect readTraceFile to fail and return the error message. */
+std::string
+expectReject(const std::string &path)
+{
+    std::string error;
+    auto data = readTraceFile(path, &error);
+    EXPECT_FALSE(data.has_value()) << path;
+    EXPECT_FALSE(error.empty());
+    EXPECT_NE(error.find(path), std::string::npos)
+        << "error should name the file: " << error;
+    return error;
+}
+
+std::string
+rejectText(const std::string &name, const std::string &content)
+{
+    std::string path = tempPath(name + ".txt");
+    writeRaw(path, content);
+    return expectReject(path);
+}
+
+// ----- round trips ---------------------------------------------------
+
+TEST(TraceFile, TextRoundTrip)
+{
+    TraceData d = sampleTrace();
+    std::string path = tempPath("rt.txt");
+    writeTraceFile(path, d, TraceFormat::Text);
+    std::string error;
+    auto back = readTraceFile(path, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    expectEqual(d, *back);
+}
+
+TEST(TraceFile, BinaryRoundTrip)
+{
+    TraceData d = sampleTrace();
+    std::string path = tempPath("rt.bin");
+    writeTraceFile(path, d, TraceFormat::Binary);
+    std::string error;
+    auto back = readTraceFile(path, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    expectEqual(d, *back);
+}
+
+TEST(TraceFile, FormatsAgree)
+{
+    TraceData d = sampleTrace();
+    std::string t = tempPath("agree.txt"), b = tempPath("agree.bin");
+    writeTraceFile(t, d, TraceFormat::Text);
+    writeTraceFile(b, d, TraceFormat::Binary);
+    auto fromText = readTraceFile(t, nullptr);
+    auto fromBin = readTraceFile(b, nullptr);
+    ASSERT_TRUE(fromText && fromBin);
+    expectEqual(*fromText, *fromBin);
+    EXPECT_EQ(fromText->totalRecords(), 5u);
+}
+
+TEST(TraceFile, FormatForPath)
+{
+    EXPECT_EQ(traceFormatForPath("a.txt"), TraceFormat::Text);
+    EXPECT_EQ(traceFormatForPath("a.text"), TraceFormat::Text);
+    EXPECT_EQ(traceFormatForPath("a.trace"), TraceFormat::Binary);
+    EXPECT_EQ(traceFormatForPath("a"), TraceFormat::Binary);
+}
+
+TEST(TraceFile, TextCommentsAndBlanksIgnored)
+{
+    std::string path = tempPath("comments.txt");
+    writeRaw(path, "# leading comment\n"
+                   "h2trace text 1\n"
+                   "\n"
+                   "streams 1   # trailing comment\n"
+                   "footprint 4096\n"
+                   "multithreaded 1\n"
+                   "%%\n"
+                   "0 5 0x40 R\n"
+                   "\n"
+                   "0 0 64 W    # decimal addresses work too\n");
+    std::string error;
+    auto d = readTraceFile(path, &error);
+    ASSERT_TRUE(d.has_value()) << error;
+    EXPECT_EQ(d->meta.streams, 1u);
+    EXPECT_TRUE(d->meta.multithreaded);
+    ASSERT_EQ(d->streams[0].size(), 2u);
+    EXPECT_EQ(d->streams[0][0], (TraceRecord{5, 0x40, AccessType::Read}));
+    EXPECT_EQ(d->streams[0][1], (TraceRecord{0, 64, AccessType::Write}));
+}
+
+TEST(TraceFile, CaptureMatchesGeneratorBudgetStepping)
+{
+    const Workload &w = findWorkload("mcf");
+    TraceData d = captureTrace(w, 2, 42, 5000);
+    ASSERT_EQ(d.streams.size(), 2u);
+    for (const auto &s : d.streams) {
+        ASSERT_FALSE(s.empty());
+        // Stops at the first record crossing the budget: the total
+        // covers it, the total minus the last record does not.
+        u64 instrs = 0;
+        for (const TraceRecord &rec : s)
+            instrs += u64(rec.instGap) + 1;
+        EXPECT_GE(instrs, 5000u);
+        EXPECT_LT(instrs - (u64(s.back().instGap) + 1), 5000u);
+    }
+    EXPECT_EQ(d.meta.name, "mcf");
+    EXPECT_EQ(d.meta.virtualBytes, w.totalVirtualBytes(2));
+}
+
+TEST(TraceFile, ReplaySourceWrapsAround)
+{
+    auto data = std::make_shared<const TraceData>(sampleTrace());
+    FileTraceSource src(data, 1);
+    EXPECT_EQ(src.next(), data->streams[1][0]);
+    EXPECT_EQ(src.next(), data->streams[1][1]);
+    // Exhausted: loops back to the first record (with a one-time warn).
+    EXPECT_EQ(src.next(), data->streams[1][0]);
+}
+
+// ----- text rejections -----------------------------------------------
+
+TEST(TraceReject, EmptyFile)
+{
+    std::string path = tempPath("empty.txt");
+    writeRaw(path, "");
+    std::string error = expectReject(path);
+    EXPECT_NE(error.find("empty"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextBadHeaderLine)
+{
+    std::string error = rejectText("badhdr", "not a trace\n");
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("h2trace text 1"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextUnsupportedVersion)
+{
+    std::string error = rejectText("badver", "h2trace text 99\n");
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextMissingSeparator)
+{
+    std::string error = rejectText("nosep", "h2trace text 1\n"
+                                            "streams 1\n"
+                                            "footprint 4096\n");
+    EXPECT_NE(error.find("%%"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextMissingRequiredDirectives)
+{
+    std::string error =
+        rejectText("nostreams", "h2trace text 1\nfootprint 4096\n%%\n"
+                                "0 0 0 R\n");
+    EXPECT_NE(error.find("streams"), std::string::npos) << error;
+    error = rejectText("nofootprint", "h2trace text 1\nstreams 1\n%%\n"
+                                      "0 0 0 R\n");
+    EXPECT_NE(error.find("footprint"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextUnknownDirective)
+{
+    std::string error =
+        rejectText("unkdir", "h2trace text 1\nbogus 3\n%%\n");
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextBadDirectiveValues)
+{
+    for (const char *hdr :
+         {"streams 0", "streams 9999", "streams x", "multithreaded 2",
+          "footprint pony", "mlp 0", "vspace -3"}) {
+        std::string error = rejectText(
+            "badval", std::string("h2trace text 1\n") + hdr + "\n%%\n");
+        EXPECT_NE(error.find("line 2"), std::string::npos)
+            << hdr << ": " << error;
+    }
+}
+
+TEST(TraceReject, TextMalformedRecords)
+{
+    const std::string hdr = "h2trace text 1\nstreams 1\nmultithreaded 1\n"
+                            "footprint 8192\n%%\n";
+    struct Case
+    {
+        const char *record;
+        const char *expect;
+    } cases[] = {
+        {"0 0 0x40", "bad record"},          // 3 fields
+        {"0 0 0x40 R extra", "bad record"},  // 5 fields
+        {"1 0 0x40 R", "bad stream id"},     // stream out of range
+        {"x 0 0x40 R", "bad stream id"},
+        {"0 99999999999 0x40 R", "bad instruction gap"},
+        {"0 0 zzz R", "bad address"},
+        {"0 0 0x R", "bad address"},
+        {"0 0 0x40 X", "bad access type"},
+        {"0 0 0x3i R", "bad address"},
+    };
+    for (const Case &c : cases) {
+        std::string error =
+            rejectText("badrec", hdr + c.record + "\n");
+        EXPECT_NE(error.find("line 6"), std::string::npos)
+            << c.record << ": " << error;
+        EXPECT_NE(error.find(c.expect), std::string::npos)
+            << c.record << ": " << error;
+    }
+}
+
+TEST(TraceReject, TextAddressOutsideSpace)
+{
+    // Multi-program bound is the per-stream slice: vspace / streams.
+    std::string error = rejectText(
+        "oob", "h2trace text 1\nstreams 2\nfootprint 8192\n"
+               "vspace 8192\n%%\n"
+               "0 0 0x1000 R\n"); // 4096 >= 8192/2
+    EXPECT_NE(error.find("outside"), std::string::npos) << error;
+}
+
+TEST(TraceReject, TextEmptyStream)
+{
+    std::string error = rejectText(
+        "emptystream", "h2trace text 1\nstreams 2\nfootprint 8192\n%%\n"
+                       "0 0 0x40 R\n"); // stream 1 never appears
+    EXPECT_NE(error.find("stream 1 has no records"), std::string::npos)
+        << error;
+}
+
+TEST(TraceReject, TextHeaderOnlyNoRecords)
+{
+    std::string error =
+        rejectText("norecs", "h2trace text 1\nstreams 1\n"
+                             "footprint 4096\n%%\n");
+    EXPECT_NE(error.find("no records"), std::string::npos) << error;
+}
+
+// ----- binary rejections ---------------------------------------------
+
+/** A valid binary file image to corrupt. */
+std::string
+validBinaryImage()
+{
+    std::string path = tempPath("valid.bin");
+    writeTraceFile(path, sampleTrace(), TraceFormat::Binary);
+    return readRaw(path);
+}
+
+std::string
+rejectBinary(const std::string &name, const std::string &bytes)
+{
+    std::string path = tempPath(name + ".bin");
+    writeRaw(path, bytes);
+    return expectReject(path);
+}
+
+TEST(TraceReject, BinaryBadMagic)
+{
+    std::string img = validBinaryImage();
+    img[3] ^= 0x40; // still starts 0x89, so binary detection holds
+    std::string error = rejectBinary("badmagic", img);
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(TraceReject, BinaryBadVersion)
+{
+    std::string img = validBinaryImage();
+    img[8] = 9;
+    std::string error = rejectBinary("badver", img);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(TraceReject, BinaryTruncatedEverywhere)
+{
+    // Chopping the file at any prefix must fail cleanly, never crash.
+    std::string img = validBinaryImage();
+    for (size_t len : {1ul, 8ul, 10ul, 12ul, 20ul, 36ul, 40ul, 44ul,
+                       50ul, 58ul, img.size() - 1}) {
+        ASSERT_LT(len, img.size());
+        std::string error =
+            rejectBinary("trunc", img.substr(0, len));
+        EXPECT_NE(error.find("byte offset") == std::string::npos &&
+                      error.find("magic") == std::string::npos,
+                  true)
+            << "len " << len << ": " << error;
+    }
+}
+
+TEST(TraceReject, BinaryTruncatedHeaderMentionsOffset)
+{
+    std::string img = validBinaryImage();
+    std::string error = rejectBinary("trunchdr", img.substr(0, 14));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+    EXPECT_NE(error.find("byte offset"), std::string::npos) << error;
+}
+
+TEST(TraceReject, BinaryBadFlags)
+{
+    std::string img = validBinaryImage();
+    img[36] = 2; // multithreaded byte must be 0|1
+    std::string error = rejectBinary("badflags", img);
+    EXPECT_NE(error.find("flags"), std::string::npos) << error;
+    img[36] = 0;
+    img[38] = 1; // reserved bytes must be zero
+    error = rejectBinary("badreserved", img);
+    EXPECT_NE(error.find("flags"), std::string::npos) << error;
+}
+
+TEST(TraceReject, BinaryAbsurdRecordCount)
+{
+    std::string img = validBinaryImage();
+    // First stream record count lives right after the 40-byte fixed
+    // header plus the name; make it absurd.
+    size_t nameLen = sampleTrace().meta.name.size();
+    size_t countOff = 40 + 4 + nameLen;
+    for (int i = 0; i < 8; ++i)
+        img[countOff + i] = char(0xff);
+    std::string error = rejectBinary("absurd", img);
+    EXPECT_NE(error.find("record counts"), std::string::npos) << error;
+}
+
+TEST(TraceReject, BinaryTrailingGarbage)
+{
+    std::string img = validBinaryImage() + "extra";
+    std::string error = rejectBinary("trailing", img);
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(TraceReject, BinaryUnterminatedVarint)
+{
+    std::string img = validBinaryImage();
+    img.back() = char(0x80); // continuation bit on the final byte
+    std::string error = rejectBinary("unterminated", img);
+    EXPECT_NE(error.find("truncated") == std::string::npos &&
+                  error.find("varint") == std::string::npos,
+              true)
+        << error;
+}
+
+TEST(TraceReject, MissingFile)
+{
+    std::string error = expectReject(tempPath("does_not_exist.bin"));
+    EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace h2::workloads

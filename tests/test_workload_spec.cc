@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Workload-spec grammar tests: registry names, trace:<path> replays,
+ * and mix:<a>+<b>[:<n>] interleaves, plus their rejection paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/trace_file.h"
+#include "workloads/workload_spec.h"
+
+namespace h2::workloads {
+namespace {
+
+std::string
+dumpTempTrace(const std::string &name, const std::string &workload,
+              u32 streams, TraceFormat format)
+{
+    std::string path = ::testing::TempDir() + "h2_spec_" + name;
+    TraceData d = captureTrace(findWorkload(workload), streams, 42, 2000);
+    writeTraceFile(path, d, format);
+    return path;
+}
+
+std::string
+resolveError(const std::string &spec)
+{
+    std::string error;
+    auto w = resolveWorkload(spec, &error);
+    EXPECT_FALSE(w.has_value()) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+    return error;
+}
+
+TEST(WorkloadSpec, RegistryNameResolves)
+{
+    auto w = resolveWorkload("lbm", nullptr);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->name, "lbm");
+    EXPECT_EQ(w->cacheName(), "lbm");
+    EXPECT_FALSE(w->trace);
+    EXPECT_TRUE(w->mixParts.empty());
+}
+
+TEST(WorkloadSpec, UnknownNameRejected)
+{
+    std::string error = resolveError("lbn");
+    EXPECT_NE(error.find("unknown workload"), std::string::npos) << error;
+    EXPECT_NE(error.find("--list-workloads"), std::string::npos) << error;
+}
+
+TEST(WorkloadSpec, TraceResolves)
+{
+    std::string path = dumpTempTrace("ok.txt", "mcf", 2,
+                                     TraceFormat::Text);
+    auto w = resolveWorkload("trace:" + path, nullptr);
+    ASSERT_TRUE(w.has_value());
+    // Metrics identity is the captured workload; the memo key is the
+    // spec, so a replay never aliases its synthetic original.
+    EXPECT_EQ(w->name, "mcf");
+    EXPECT_EQ(w->cacheName(), "trace:" + path);
+    ASSERT_TRUE(w->trace);
+    EXPECT_EQ(w->traceStreams, 2u);
+    EXPECT_EQ(w->totalVirtualBytes(2), w->trace->meta.virtualBytes);
+    EXPECT_GT(w->memRatio, 0.0);
+    EXPECT_GT(w->writeFrac, 0.0);
+}
+
+TEST(WorkloadSpec, TraceCachedWhileReferenced)
+{
+    std::string path = dumpTempTrace("cache.bin", "mcf", 1,
+                                     TraceFormat::Binary);
+    auto a = resolveWorkload("trace:" + path, nullptr);
+    auto b = resolveWorkload("trace:" + path, nullptr);
+    ASSERT_TRUE(a && b);
+    // Same spec while the first resolution is still alive: the file is
+    // loaded once and shared.
+    EXPECT_EQ(a->trace.get(), b->trace.get());
+}
+
+TEST(WorkloadSpec, TraceRejections)
+{
+    EXPECT_NE(resolveError("trace:").find("needs a file path"),
+              std::string::npos);
+    EXPECT_NE(resolveError("trace:/nonexistent/file").find("cannot read"),
+              std::string::npos);
+}
+
+TEST(WorkloadSpec, MixResolves)
+{
+    auto w = resolveWorkload("mix:lbm+mcf", nullptr);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->name, "mix:lbm+mcf");
+    EXPECT_EQ(w->cacheName(), "mix:lbm+mcf");
+    ASSERT_EQ(w->mixParts.size(), 2u);
+    EXPECT_EQ(w->mixWeight, 1u);
+    // One shared space with a page-aligned slice per component.
+    EXPECT_TRUE(w->multithreaded);
+    EXPECT_EQ(w->footprintBytes, findWorkload("lbm").footprintBytes +
+                                     findWorkload("mcf").footprintBytes);
+    EXPECT_EQ(w->cls, MpkiClass::High);
+    // Combined intensity sits between the components'.
+    double lo = std::min(findWorkload("lbm").memRatio,
+                         findWorkload("mcf").memRatio);
+    double hi = std::max(findWorkload("lbm").memRatio,
+                         findWorkload("mcf").memRatio);
+    EXPECT_GE(w->memRatio, lo);
+    EXPECT_LE(w->memRatio, hi);
+}
+
+TEST(WorkloadSpec, MixRatioSpelledInName)
+{
+    auto w = resolveWorkload("mix:xalanc+namd:4", nullptr);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->name, "mix:xalanc+namd:4");
+    EXPECT_EQ(w->mixWeight, 4u);
+    EXPECT_EQ(w->cls, MpkiClass::Low);
+}
+
+TEST(WorkloadSpec, MixMlpIsTheWidestComponents)
+{
+    // Both components sustain 2 outstanding misses: the mix must not
+    // silently inherit the default of 8.
+    auto low = resolveWorkload("mix:mcf+omnetpp", nullptr);
+    ASSERT_TRUE(low.has_value());
+    EXPECT_EQ(low->mlp, 2u);
+    auto wide = resolveWorkload("mix:mcf+lbm", nullptr);
+    ASSERT_TRUE(wide.has_value());
+    EXPECT_EQ(wide->mlp, findWorkload("lbm").mlp);
+}
+
+TEST(WorkloadSpec, MixThreeComponents)
+{
+    auto w = resolveWorkload("mix:lbm+omnetpp+namd", nullptr);
+    ASSERT_TRUE(w.has_value());
+    ASSERT_EQ(w->mixParts.size(), 3u);
+    EXPECT_EQ(w->cls, MpkiClass::High);
+}
+
+TEST(WorkloadSpec, MixRejections)
+{
+    EXPECT_NE(resolveError("mix:lbm").find("at least two"),
+              std::string::npos);
+    EXPECT_NE(resolveError("mix:lbm+").find("empty mix component"),
+              std::string::npos);
+    EXPECT_NE(resolveError("mix:lbm+nosuch").find("unknown mix component"),
+              std::string::npos);
+    EXPECT_NE(resolveError("mix:lbm+mcf:0").find("bad ratio"),
+              std::string::npos);
+    EXPECT_NE(resolveError("mix:lbm+mcf:banana").find("bad ratio"),
+              std::string::npos);
+    EXPECT_NE(resolveError("mix:lbm+mcf:99999").find("bad ratio"),
+              std::string::npos);
+}
+
+TEST(WorkloadSpec, MixStreamsInterleaveWithOffsets)
+{
+    auto w = resolveWorkload("mix:mcf+xalanc:3", nullptr);
+    ASSERT_TRUE(w.has_value());
+    const u32 cores = 2;
+    u64 slice0 = (findWorkload("mcf").totalVirtualBytes(cores) + 4095) &
+                 ~u64(4095);
+    u64 total = w->totalVirtualBytes(cores);
+    auto src = w->makeSource(0, cores, 42);
+    // Weighted round-robin: 3 records from mcf's slice, then 1 from
+    // xalanc's, repeating; every address inside the shared space.
+    for (int round = 0; round < 8; ++round) {
+        for (int i = 0; i < 3; ++i) {
+            TraceRecord rec = src->next();
+            EXPECT_LT(rec.vaddr, slice0) << "round " << round;
+        }
+        TraceRecord rec = src->next();
+        EXPECT_GE(rec.vaddr, slice0) << "round " << round;
+        EXPECT_LT(rec.vaddr, total) << "round " << round;
+    }
+}
+
+TEST(WorkloadSpec, MixPartsKeepStandalonePerCoreLayout)
+{
+    // A multi-program part splits per core inside its slice exactly
+    // like a standalone run: core 1's sub-stream lands above core 0's.
+    auto w = resolveWorkload("mix:mcf+xalanc", nullptr);
+    ASSERT_TRUE(w.has_value());
+    const u32 cores = 2;
+    u64 perCore = findWorkload("mcf").perCoreFootprint(cores);
+    auto c0 = w->makeSource(0, cores, 42);
+    auto c1 = w->makeSource(1, cores, 42);
+    EXPECT_LT(c0->next().vaddr, perCore);
+    TraceRecord r1 = c1->next();
+    EXPECT_GE(r1.vaddr, perCore);
+    EXPECT_LT(r1.vaddr, 2 * perCore);
+}
+
+TEST(WorkloadSpec, FatalFlavourDiesOnBadSpec)
+{
+    EXPECT_DEATH(resolveWorkloadOrFatal("mix:lbm"), "at least two");
+}
+
+TEST(WorkloadSpec, GrammarHelpMentionsAllForms)
+{
+    std::string help = workloadSpecGrammarHelp();
+    EXPECT_NE(help.find("trace:"), std::string::npos);
+    EXPECT_NE(help.find("mix:"), std::string::npos);
+}
+
+} // namespace
+} // namespace h2::workloads

@@ -1,0 +1,51 @@
+# End-to-end trace round-trip through the h2sim binary (the CLI-level
+# twin of tests/test_trace_roundtrip.cc): capture a workload with
+# --dump-trace in both formats, replay each via a trace:<path> spec,
+# and require the emitted metrics JSON to be byte-identical to the
+# direct synthetic run's.
+#
+# Invoked by ctest as:
+#   cmake -DH2SIM=<path-to-h2sim> -DWORKDIR=<scratch-dir>
+#         -P trace_roundtrip_smoke.cmake
+
+if(NOT H2SIM OR NOT WORKDIR)
+    message(FATAL_ERROR "need -DH2SIM=... and -DWORKDIR=...")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+set(CFG --cores 2 --instr 20000 --warmup 5000 --seed 7)
+
+function(run_h2sim)
+    execute_process(COMMAND ${H2SIM} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "h2sim ${ARGN} failed (${rc}):\n${out}\n${err}")
+    endif()
+endfunction()
+
+# Direct synthetic run.
+run_h2sim(--design dfc --workload lbm ${CFG}
+          --format json --out ${WORKDIR}/direct.json)
+
+# Capture in both formats; the instruction budget must cover
+# warmup + measurement so the replay never wraps.
+run_h2sim(--dump-trace ${WORKDIR}/lbm.trace.txt --workload lbm ${CFG})
+run_h2sim(--dump-trace ${WORKDIR}/lbm.trace --workload lbm ${CFG})
+
+# Replay each capture and demand byte-identical metrics JSON.
+foreach(trace lbm.trace.txt lbm.trace)
+    run_h2sim(--design dfc --workload trace:${WORKDIR}/${trace} ${CFG}
+              --format json --out ${WORKDIR}/replay_${trace}.json)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORKDIR}/direct.json ${WORKDIR}/replay_${trace}.json
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "replay of ${trace} is not bit-identical to the direct run "
+            "(${WORKDIR}/direct.json vs ${WORKDIR}/replay_${trace}.json)")
+    endif()
+    message(STATUS "${trace}: replay bit-identical to the synthetic run")
+endforeach()
