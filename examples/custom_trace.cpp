@@ -108,7 +108,7 @@ main(int argc, char **argv)
         now += Tick(rec.instGap + 1) * corePeriod;
         Addr addr = (rec.vaddr % dcmc.flatCapacity()) & ~Addr(63);
         auto result = dcmc.access(addr, rec.type, now);
-        now = std::max(now, result.completeAt - 1); // crude serialization
+        now = std::max(now, result.completeAt() - 1); // crude serialization
     }
     dcmc.checkInvariants();
 

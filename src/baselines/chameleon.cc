@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/log.h"
-#include "common/rng.h"
 #include "common/units.h"
 #include "sim/design_registry.h"
 
@@ -110,21 +109,20 @@ Chameleon::inNmSlot(u64 seg) const
     return it->second.nmMember == seg;
 }
 
-Tick
-Chameleon::metaAccess(AccessType type, Tick at)
+void
+Chameleon::metaAccess(AccessType type, mem::Timeline &tl)
 {
-    u64 region = std::min<u64>(16 * MiB, sys.nmBytes / 4);
-    Addr addr = (splitmix64(metaRotor++) * 64) % region;
-    addr &= ~Addr(63);
+    // Remap-table reads gate the data access; updates are posted.
+    u64 region = baselineMetaRegionBytes();
     if (type == AccessType::Read)
         ++nMetaReads;
     else
         ++nMetaWrites;
-    return nm->access(addr, 64, type, at);
+    nmMetaRegionAccess(type, region, metaRotor, tl);
 }
 
 void
-Chameleon::promote(u64 group, u64 seg, Tick now)
+Chameleon::promote(u64 group, u64 seg, mem::Timeline &tl)
 {
     GroupState &st = state(group);
     h2_assert(st.nmMember != seg, "promoting the resident segment");
@@ -132,34 +130,46 @@ Chameleon::promote(u64 group, u64 seg, Tick now)
     Addr nmSlot = group * segB;
     u64 old = st.nmMember;
 
+    // The swap blocks further accesses to the group, so the segment
+    // reads serialize onto the triggering request (they issue together
+    // and the swap resumes once the slowest lands); the destination
+    // writes are posted from the swap buffer.
+    Tick base = tl.now();
     if (seg == nativeOf(group)) {
         // The displaced native wins back its slot: plain swap with the
         // member currently holding it (the native lives in that
         // member's FM home).
-        nm->access(nmSlot, segB, AccessType::Read, now);
-        fm->access(fmHomeOf(old) * segB, segB, AccessType::Read, now);
-        nm->access(nmSlot, segB, AccessType::Write, now);
-        fm->access(fmHomeOf(old) * segB, segB, AccessType::Write, now);
+        Tick rdNm = nm->access(nmSlot, segB, AccessType::Read, base);
+        Tick rdFm = fm->access(fmHomeOf(old) * segB, segB,
+                               AccessType::Read, base);
+        tl.serialize(std::max(rdNm, rdFm));
+        postWrite(*nm, nmSlot, segB, tl.now());
+        postWrite(*fm, fmHomeOf(old) * segB, segB, tl.now());
     } else if (old == nativeOf(group)) {
         // Plain pairwise swap: native <-> seg.
-        nm->access(nmSlot, segB, AccessType::Read, now);
-        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Read, now);
-        nm->access(nmSlot, segB, AccessType::Write, now);
-        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Write, now);
+        Tick rdNm = nm->access(nmSlot, segB, AccessType::Read, base);
+        Tick rdFm = fm->access(fmHomeOf(seg) * segB, segB,
+                               AccessType::Read, base);
+        tl.serialize(std::max(rdNm, rdFm));
+        postWrite(*nm, nmSlot, segB, tl.now());
+        postWrite(*fm, fmHomeOf(seg) * segB, segB, tl.now());
     } else {
         // Three-way exchange: old returns home, native moves to seg's
         // home, seg enters the NM slot.
-        nm->access(nmSlot, segB, AccessType::Read, now);
-        fm->access(fmHomeOf(old) * segB, segB, AccessType::Read, now);
-        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Read, now);
-        nm->access(nmSlot, segB, AccessType::Write, now);
-        fm->access(fmHomeOf(old) * segB, segB, AccessType::Write, now);
-        fm->access(fmHomeOf(seg) * segB, segB, AccessType::Write, now);
+        Tick rdNm = nm->access(nmSlot, segB, AccessType::Read, base);
+        Tick rdOld = fm->access(fmHomeOf(old) * segB, segB,
+                                AccessType::Read, base);
+        Tick rdSeg = fm->access(fmHomeOf(seg) * segB, segB,
+                                AccessType::Read, base);
+        tl.serialize(std::max({rdNm, rdOld, rdSeg}));
+        postWrite(*nm, nmSlot, segB, tl.now());
+        postWrite(*fm, fmHomeOf(old) * segB, segB, tl.now());
+        postWrite(*fm, fmHomeOf(seg) * segB, segB, tl.now());
     }
     st.nmMember = seg;
     st.challenger = ~u64(0);
     st.counter = 0;
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
     remapCache.invalidate(group);
     // The promoted segment's data left the cache-mode slice's domain.
     cacheMode.invalidate(seg * segB);
@@ -176,19 +186,19 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
     u64 group = groupOf(seg);
     u64 segB = cfg.segmentBytes;
 
-    Tick start = now + sys.controllerLatencyPs;
+    mem::Timeline tl(now);
+    tl.advance(sys.controllerLatencyPs);
     if (!remapCache.lookup(group))
-        start = metaAccess(AccessType::Read, start);
+        metaAccess(AccessType::Read, tl);
 
     GroupState &st = state(group);
-    Tick done;
     bool fromNm;
     if (st.nmMember == seg) {
         // Served from the group's NM slot.
         if (st.counter > 0)
             --st.counter;
-        done = nm->access(group * segB + offset, mem::llcLineBytes, type,
-                          start);
+        tl.serialize(nm->access(group * segB + offset, mem::llcLineBytes,
+                                type, tl.now()));
         fromNm = true;
     } else {
         // FM-resident (either its own home, or the native segment
@@ -200,16 +210,21 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
         if (cfg.cacheMode && cacheMode.access(cacheKey, type)) {
             ++nCacheModeHits;
             Addr nmBase = sys.nmBytes - cfg.cacheSliceBytes;
-            done = nm->access(nmBase + cacheKey % cfg.cacheSliceBytes
-                              + offset, mem::llcLineBytes, type, start);
+            tl.serialize(nm->access(nmBase
+                                    + cacheKey % cfg.cacheSliceBytes
+                                    + offset, mem::llcLineBytes, type,
+                                    tl.now()));
             fromNm = true;
         } else {
-            done = fm->access(fmLoc * segB + offset, mem::llcLineBytes,
-                              type, start);
+            tl.serialize(fm->access(fmLoc * segB + offset,
+                                    mem::llcLineBytes, type, tl.now()));
             fromNm = false;
             if (cfg.cacheMode && touchedBefore(seg)) {
                 // Fill the whole segment into the cache slice on
                 // reuse; first touches only register in the sketch.
+                // The demand word already returned, so the fill (and
+                // any victim writeback it forces) trails off the
+                // critical path.
                 ++nCacheModeFills;
                 auto victim = cacheMode.insert(cacheKey, false);
                 Addr nmBase = sys.nmBytes - cfg.cacheSliceBytes;
@@ -218,15 +233,15 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
                     u64 vLoc = isNative(vSeg)
                         ? fmHomeOf(state(groupOf(vSeg)).nmMember)
                         : fmHomeOf(vSeg);
-                    nm->access(nmBase
-                               + victim->addr % cfg.cacheSliceBytes,
-                               segB, AccessType::Read, done);
-                    fm->access(vLoc * segB, segB, AccessType::Write,
-                               done);
+                    Tick vRd = nm->access(
+                        nmBase + victim->addr % cfg.cacheSliceBytes,
+                        segB, AccessType::Read, tl.now());
+                    postWrite(*fm, vLoc * segB, segB, vRd);
                 }
-                fm->access(fmLoc * segB, segB, AccessType::Read, done);
-                nm->access(nmBase + cacheKey % cfg.cacheSliceBytes, segB,
-                           AccessType::Write, done);
+                Tick fillRd = fm->access(fmLoc * segB, segB,
+                                         AccessType::Read, tl.now());
+                postWrite(*nm, nmBase + cacheKey % cfg.cacheSliceBytes,
+                          segB, fillRd);
             }
 
             // Competing counter (MJRTY-style), advanced only by
@@ -242,11 +257,12 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
                 --st.counter;
             }
             if (st.counter >= cfg.competingK)
-                promote(group, seg, now);
+                promote(group, seg, tl);
         }
     }
-    recordService(fromNm);
-    return {done, fromNm};
+    flushPostedWrites(tl);
+    recordService(type, fromNm, tl);
+    return {tl, fromNm};
 }
 
 void

@@ -78,8 +78,8 @@ class Chameleon : public mem::HybridMemory
     bool isNative(u64 seg) const { return seg < nmGroupSegs; }
     u64 fmHomeOf(u64 seg) const;
     GroupState &state(u64 group);
-    void promote(u64 group, u64 seg, Tick now);
-    Tick metaAccess(AccessType type, Tick at);
+    void promote(u64 group, u64 seg, mem::Timeline &tl);
+    void metaAccess(AccessType type, mem::Timeline &tl);
 
     ChameleonParams cfg;
     u64 nmGroupSegs; ///< NM segment slots participating in groups

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/rng.h"
 #include "common/units.h"
 #include "sim/design_registry.h"
 
@@ -29,35 +28,33 @@ DfcCache::DfcCache(const mem::MemSystemParams &sysParams, u32 lineBytes)
 {
 }
 
-Tick
-DfcCache::tagStoreAccess(AccessType type, Tick at)
+void
+DfcCache::tagStoreAccess(AccessType type, mem::Timeline &tl)
 {
-    // The tag store occupies a reserved NM slice; spread accesses over
-    // it so they contend realistically for NM channels and banks.
-    u64 region = std::min<u64>(16ull * 1024 * 1024, sys.nmBytes / 4);
-    Addr addr = (splitmix64(metaRotor++) * 64) % region;
-    addr &= ~Addr(63);
+    // The tag store occupies a reserved NM slice; reads gate the data
+    // access, writes are posted.
+    u64 region = baselineMetaRegionBytes();
     if (type == AccessType::Read)
         ++tagReads;
     else
         ++tagWrites;
-    return nm->access(addr, 64, type, at);
-}
-
-Tick
-DfcCache::tagLookup(Addr addr, Tick now)
-{
-    Addr lineAddr = addr & ~Addr(cp.lineBytes - 1);
-    if (tagCache.lookup(lineAddr / cp.lineBytes))
-        return now; // fused on-chip tag hit: no overhead
-    return tagStoreAccess(AccessType::Read, now);
+    nmMetaRegionAccess(type, region, metaRotor, tl);
 }
 
 void
-DfcCache::onFill(Addr, Tick now)
+DfcCache::tagLookup(Addr addr, mem::Timeline &tl)
+{
+    Addr lineAddr = addr & ~Addr(cp.lineBytes - 1);
+    if (tagCache.lookup(lineAddr / cp.lineBytes))
+        return; // fused on-chip tag hit: no overhead
+    tagStoreAccess(AccessType::Read, tl);
+}
+
+void
+DfcCache::onFill(Addr, mem::Timeline &tl)
 {
     // Fills update the NM-resident tag store off the critical path.
-    tagStoreAccess(AccessType::Write, now);
+    tagStoreAccess(AccessType::Write, tl);
 }
 
 void

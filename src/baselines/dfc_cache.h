@@ -30,12 +30,13 @@ class DfcCache : public IdealCache
     u64 tagCacheMisses() const { return tagCache.misses(); }
 
   protected:
-    Tick tagLookup(Addr addr, Tick now) override;
-    void onFill(Addr lineAddr, Tick now) override;
+    void tagLookup(Addr addr, mem::Timeline &tl) override;
+    void onFill(Addr lineAddr, mem::Timeline &tl) override;
 
   private:
-    /** Charge one 64 B access to the NM-resident tag store. */
-    Tick tagStoreAccess(AccessType type, Tick at);
+    /** Charge one 64 B access to the NM-resident tag store: reads
+     *  serialize (the lookup gates the data access), writes post. */
+    void tagStoreAccess(AccessType type, mem::Timeline &tl);
 
     RemapCache tagCache;
     u64 tagReads = 0;

@@ -16,10 +16,11 @@ FlatBaseline::access(Addr addr, AccessType type, Tick now)
 {
     h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
               "access beyond FM capacity");
-    Tick done = fm->access(addr, mem::llcLineBytes, type,
-                           now + sys.controllerLatencyPs);
-    recordService(false);
-    return {done, false};
+    mem::Timeline tl(now);
+    tl.advance(sys.controllerLatencyPs);
+    tl.serialize(fm->access(addr, mem::llcLineBytes, type, tl.now()));
+    recordService(type, false, tl);
+    return {tl, false};
 }
 
 H2_REGISTER_DESIGN(baseline, [] {

@@ -40,15 +40,15 @@ IdealCache::IdealCache(const mem::MemSystemParams &sysParams,
               "used-block tracking supports up to 4 KB lines");
 }
 
-Tick
-IdealCache::tagLookup(Addr, Tick now)
+void
+IdealCache::tagLookup(Addr, mem::Timeline &tl)
 {
     // The IDEAL cache has no tag-lookup overhead (Figure 2).
-    return now + cp.tagLatencyPs;
+    tl.advance(cp.tagLatencyPs);
 }
 
 void
-IdealCache::onFill(Addr, Tick)
+IdealCache::onFill(Addr, mem::Timeline &)
 {
     // No metadata traffic in the ideal design.
 }
@@ -60,7 +60,9 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
               "access beyond FM capacity");
     Addr lineAddr = addr & ~Addr(cp.lineBytes - 1);
     u32 blockIdx = static_cast<u32>((addr - lineAddr) / mem::llcLineBytes);
-    Tick start = tagLookup(addr, now + sys.controllerLatencyPs);
+    mem::Timeline tl(now);
+    tl.advance(sys.controllerLatencyPs);
+    tagLookup(addr, tl);
 
     if (tags.access(lineAddr, type)) {
         ++nHits;
@@ -68,9 +70,11 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
         // The cache maps NM 1:1 by line address modulo NM capacity; the
         // tag store guarantees at most one resident line per frame.
         Addr nmAddr = lineAddr % sys.nmBytes + (addr - lineAddr);
-        Tick done = nm->access(nmAddr, mem::llcLineBytes, type, start);
-        recordService(true);
-        return {done, true};
+        tl.serialize(nm->access(nmAddr, mem::llcLineBytes, type,
+                                tl.now()));
+        flushPostedWrites(tl);
+        recordService(type, true, tl);
+        return {tl, true};
     }
 
     // Miss: fetch the full line from FM (critical 64 B first), fill NM.
@@ -84,36 +88,49 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
         if (it != usedBlocks.end())
             usedBlocks.erase(it);
         if (victim->dirty) {
-            // Write the whole victim line back to FM.
-            nm->access(victim->addr % sys.nmBytes, cp.lineBytes,
-                       AccessType::Read, start);
-            fm->access(victim->addr, cp.lineBytes, AccessType::Write,
-                       start);
+            // Write the whole victim line back to FM: the NM read
+            // drains the frame before it is refilled (serialized); the
+            // FM write is posted once the data is buffered and drains
+            // behind the demand fetch.
+            tl.serialize(nm->access(victim->addr % sys.nmBytes,
+                                    cp.lineBytes, AccessType::Read,
+                                    tl.now()));
+            postWrite(*fm, victim->addr, cp.lineBytes, tl.now());
         }
     }
     ++nFills;
     fetchedBlocks += cp.lineBytes / mem::llcLineBytes;
     usedBlocks[lineAddr] = u64(1) << blockIdx;
 
-    // Critical word first, then the rest of the line streams in.
-    Tick critical = fm->access(addr, mem::llcLineBytes, AccessType::Read,
-                               start);
+    // Critical word first; the rest of the line and the NM fill stream
+    // in behind it, off the critical path.
+    tl.serialize(fm->access(addr, mem::llcLineBytes, AccessType::Read,
+                            tl.now()));
+    Tick critical = tl.now();
+    Tick lineReady = critical; // when the whole line is buffered
     if (cp.lineBytes > mem::llcLineBytes) {
         // Remaining bytes of the line (split around the critical block).
-        if (addr > lineAddr)
-            fm->access(lineAddr, static_cast<u32>(addr - lineAddr),
-                       AccessType::Read, critical);
+        if (addr > lineAddr) {
+            Tick rd = fm->access(lineAddr,
+                                 static_cast<u32>(addr - lineAddr),
+                                 AccessType::Read, critical);
+            tl.overlap(rd);
+            lineReady = std::max(lineReady, rd);
+        }
         Addr after = addr + mem::llcLineBytes;
-        if (after < lineAddr + cp.lineBytes)
-            fm->access(after,
-                       static_cast<u32>(lineAddr + cp.lineBytes - after),
-                       AccessType::Read, critical);
+        if (after < lineAddr + cp.lineBytes) {
+            Tick rd = fm->access(
+                after, static_cast<u32>(lineAddr + cp.lineBytes - after),
+                AccessType::Read, critical);
+            tl.overlap(rd);
+            lineReady = std::max(lineReady, rd);
+        }
     }
-    nm->access(lineAddr % sys.nmBytes, cp.lineBytes, AccessType::Write,
-               critical);
-    onFill(lineAddr, critical);
-    recordService(false);
-    return {critical, false};
+    postWrite(*nm, lineAddr % sys.nmBytes, cp.lineBytes, lineReady);
+    onFill(lineAddr, tl);
+    flushPostedWrites(tl);
+    recordService(type, false, tl);
+    return {tl, false};
 }
 
 double

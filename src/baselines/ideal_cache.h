@@ -53,14 +53,15 @@ class IdealCache : public mem::HybridMemory
 
   protected:
     /**
-     * Hook for subclasses: charge tag-lookup cost for @p addr at @p now.
-     * Returns the time at which the data access may start and whether
-     * the request went through without extra memory traffic.
+     * Hook for subclasses: charge tag-lookup cost for @p addr. The
+     * lookup gates the data access, so implementations serialize their
+     * latency (fixed or an NM tag-store read) onto @p tl.
      */
-    virtual Tick tagLookup(Addr addr, Tick now);
+    virtual void tagLookup(Addr addr, mem::Timeline &tl);
 
-    /** Hook: metadata update on a fill (e.g. tag store write). */
-    virtual void onFill(Addr lineAddr, Tick now);
+    /** Hook: metadata update on a fill (e.g. tag store write); posted
+     *  off the critical path. */
+    virtual void onFill(Addr lineAddr, mem::Timeline &tl);
 
     DramCacheParams cp;
     std::string label;

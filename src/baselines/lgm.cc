@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "common/log.h"
-#include "common/rng.h"
 #include "common/units.h"
 #include "sim/design_registry.h"
 
@@ -25,21 +24,20 @@ Lgm::Lgm(const mem::MemSystemParams &sysParams, const mem::LlcView &llcView,
 {
 }
 
-Tick
-Lgm::metaAccess(AccessType type, Tick at)
+void
+Lgm::metaAccess(AccessType type, mem::Timeline &tl)
 {
-    u64 region = std::min<u64>(16 * MiB, sys.nmBytes / 4);
-    Addr addr = (splitmix64(metaRotor++) * 64) % region;
-    addr &= ~Addr(63);
+    // Remap-table reads gate the data access; updates are posted.
+    u64 region = baselineMetaRegionBytes();
     if (type == AccessType::Read)
         ++nMetaReads;
     else
         ++nMetaWrites;
-    return nm->access(addr, 64, type, at);
+    nmMetaRegionAccess(type, region, metaRotor, tl);
 }
 
 void
-Lgm::migrateSegment(u64 hotSeg, Tick now)
+Lgm::migrateSegment(u64 hotSeg, mem::Timeline &tl)
 {
     core::Loc hotHome = remap.lookup(hotSeg);
     if (hotHome.inNm)
@@ -51,7 +49,7 @@ Lgm::migrateSegment(u64 hotSeg, Tick now)
     fifoPtr += 1;
     auto resident = remap.invLookup(nmLoc);
     h2_assert(resident, "LGM NM location with no resident");
-    metaAccess(AccessType::Read, now); // inverted remap table read
+    metaAccess(AccessType::Read, tl); // inverted remap table read
 
     // Bandwidth economizing: skip lines of both segments that are
     // currently in the LLC (they will be written back to the new homes).
@@ -62,29 +60,36 @@ Lgm::migrateSegment(u64 hotSeg, Tick now)
     u32 hotBytes = (lines - hotResident) * mem::llcLineBytes;
     u32 victimBytes = (lines - victimResident) * mem::llcLineBytes;
 
-    if (victimBytes > 0) {
-        nm->access(nmLoc * u64(segB), victimBytes, AccessType::Read, now);
-        fm->access(hotHome.idx * u64(segB), victimBytes,
-                   AccessType::Write, now);
-    }
-    if (hotBytes > 0) {
-        fm->access(hotHome.idx * u64(segB), hotBytes, AccessType::Read,
-                   now);
-        nm->access(nmLoc * u64(segB), hotBytes, AccessType::Write, now);
-    }
+    // Both bulk-copy reads issue together and serialize; the writes to
+    // the new homes are posted once the data is buffered.
+    Tick base = tl.now();
+    Tick copied = base;
+    if (victimBytes > 0)
+        copied = std::max(copied, nm->access(nmLoc * u64(segB),
+                                             victimBytes,
+                                             AccessType::Read, base));
+    if (hotBytes > 0)
+        copied = std::max(copied, fm->access(hotHome.idx * u64(segB),
+                                             hotBytes, AccessType::Read,
+                                             base));
+    tl.serialize(copied);
+    if (victimBytes > 0)
+        postWrite(*fm, hotHome.idx * u64(segB), victimBytes, tl.now());
+    if (hotBytes > 0)
+        postWrite(*nm, nmLoc * u64(segB), hotBytes, tl.now());
 
     remap.update(hotSeg, core::Loc{true, nmLoc});
     remap.update(*resident, core::Loc{false, hotHome.idx});
     remap.invUpdate(nmLoc, hotSeg);
-    metaAccess(AccessType::Write, now);
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
+    metaAccess(AccessType::Write, tl);
     remapCache.invalidate(hotSeg);
     remapCache.invalidate(*resident);
     ++nMigrations;
 }
 
 void
-Lgm::endInterval(Tick now)
+Lgm::endInterval(mem::Timeline &tl)
 {
     std::vector<std::pair<u32, u64>> hot;
     for (const auto &[seg, count] : intervalCounts)
@@ -94,7 +99,7 @@ Lgm::endInterval(Tick now)
     if (hot.size() > cfg.maxMigrationsPerInterval)
         hot.resize(cfg.maxMigrationsPerInterval);
     for (const auto &[count, seg] : hot)
-        migrateSegment(seg, now);
+        migrateSegment(seg, tl);
     intervalCounts.clear();
     ++nIntervals;
 }
@@ -104,29 +109,33 @@ Lgm::access(Addr addr, AccessType type, Tick now)
 {
     h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
               "access beyond flat capacity");
+    mem::Timeline tl(now);
+    tl.advance(sys.controllerLatencyPs);
+    // Watermark-triggered bulk copies run in the controller when the
+    // first request past the interval boundary arrives; that request
+    // waits for the copies' serialized reads.
     while (now >= nextInterval) {
-        endInterval(nextInterval);
+        endInterval(tl);
         nextInterval += cfg.intervalPs;
     }
 
     u64 seg = addr / cfg.segmentBytes;
     u64 offset = addr % cfg.segmentBytes;
-    Tick start = now + sys.controllerLatencyPs;
     if (!remapCache.lookup(seg))
-        start = metaAccess(AccessType::Read, start);
+        metaAccess(AccessType::Read, tl);
 
     core::Loc loc = remap.lookup(seg);
-    Tick done;
     if (loc.inNm) {
-        done = nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
-                          mem::llcLineBytes, type, start);
+        tl.serialize(nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+                                mem::llcLineBytes, type, tl.now()));
     } else {
-        done = fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
-                          mem::llcLineBytes, type, start);
+        tl.serialize(fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+                                mem::llcLineBytes, type, tl.now()));
         ++intervalCounts[seg];
     }
-    recordService(loc.inNm);
-    return {done, loc.inNm};
+    flushPostedWrites(tl);
+    recordService(type, loc.inNm, tl);
+    return {tl, loc.inNm};
 }
 
 void

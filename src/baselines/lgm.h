@@ -51,9 +51,9 @@ class Lgm : public mem::HybridMemory
     core::Loc locate(u64 flatSeg) const { return remap.lookup(flatSeg); }
 
   private:
-    void endInterval(Tick now);
-    void migrateSegment(u64 hotSeg, Tick now);
-    Tick metaAccess(AccessType type, Tick at);
+    void endInterval(mem::Timeline &tl);
+    void migrateSegment(u64 hotSeg, mem::Timeline &tl);
+    void metaAccess(AccessType type, mem::Timeline &tl);
 
     LgmParams cfg;
     u64 nmSegs;

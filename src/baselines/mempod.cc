@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/log.h"
-#include "common/rng.h"
 #include "common/units.h"
 #include "sim/design_registry.h"
 
@@ -29,22 +28,21 @@ MemPod::MemPod(const mem::MemSystemParams &sysParams,
         podFifo[p] = p;
 }
 
-Tick
-MemPod::metaAccess(AccessType type, Tick at)
+void
+MemPod::metaAccess(AccessType type, mem::Timeline &tl)
 {
-    // The remap tables live in a reserved NM region; spread accesses.
-    u64 region = std::min<u64>(16 * MiB, sys.nmBytes / 4);
-    Addr addr = (splitmix64(metaRotor++) * 64) % region;
-    addr &= ~Addr(63);
+    // The remap tables live in a reserved NM region; reads gate the
+    // data access, updates are posted.
+    u64 region = baselineMetaRegionBytes();
     if (type == AccessType::Read)
         ++nMetaReads;
     else
         ++nMetaWrites;
-    return nm->access(addr, 64, type, at);
+    nmMetaRegionAccess(type, region, metaRotor, tl);
 }
 
 void
-MemPod::swapSegments(u64 hotSeg, u64 nmLoc, Tick now)
+MemPod::swapSegments(u64 hotSeg, u64 nmLoc, mem::Timeline &tl)
 {
     // The NM location's current resident goes to the hot segment's FM
     // home; the hot segment moves into NM.
@@ -54,24 +52,28 @@ MemPod::swapSegments(u64 hotSeg, u64 nmLoc, Tick now)
     h2_assert(!hotHome.inNm, "hot segment already in NM");
 
     u32 segB = cfg.segmentBytes;
-    // Read both segments, write both destinations.
-    nm->access(nmLoc * u64(segB), segB, AccessType::Read, now);
-    fm->access(hotHome.idx * u64(segB), segB, AccessType::Read, now);
-    nm->access(nmLoc * u64(segB), segB, AccessType::Write, now);
-    fm->access(hotHome.idx * u64(segB), segB, AccessType::Write, now);
+    // Read both segments (issued together, the swap resumes when the
+    // slower one lands), then post both destination writes.
+    Tick rdNm = nm->access(nmLoc * u64(segB), segB, AccessType::Read,
+                           tl.now());
+    Tick rdFm = fm->access(hotHome.idx * u64(segB), segB,
+                           AccessType::Read, tl.now());
+    tl.serialize(std::max(rdNm, rdFm));
+    postWrite(*nm, nmLoc * u64(segB), segB, tl.now());
+    postWrite(*fm, hotHome.idx * u64(segB), segB, tl.now());
 
     remap.update(hotSeg, core::Loc{true, nmLoc});
     remap.update(*resident, core::Loc{false, hotHome.idx});
     remap.invUpdate(nmLoc, hotSeg);
-    metaAccess(AccessType::Write, now);
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
+    metaAccess(AccessType::Write, tl);
     remapCache.invalidate(hotSeg);
     remapCache.invalidate(*resident);
     ++nMigrations;
 }
 
 void
-MemPod::endInterval(Tick now)
+MemPod::endInterval(mem::Timeline &tl)
 {
     u64 nmSegsPerPod = nmSegs / cfg.pods;
     std::unordered_set<u64> trackedNow;
@@ -91,7 +93,7 @@ MemPod::endInterval(Tick now)
             u64 victimIdx = podFifo[p] % nmSegsPerPod;
             podFifo[p] += 1;
             u64 nmLoc = victimIdx * cfg.pods + p;
-            swapSegments(seg, nmLoc, now);
+            swapSegments(seg, nmLoc, tl);
             ++migrated;
         }
         podMea[p].clear();
@@ -105,29 +107,33 @@ MemPod::access(Addr addr, AccessType type, Tick now)
 {
     h2_assert(addr + mem::llcLineBytes <= flatCapacity(),
               "access beyond flat capacity");
+    mem::Timeline tl(now);
+    tl.advance(sys.controllerLatencyPs);
+    // Interval-end MEA migrations run in the controller when the first
+    // request past the boundary arrives; that request (and everything
+    // behind it) waits for the swaps' serialized reads.
     while (now >= nextInterval) {
-        endInterval(nextInterval);
+        endInterval(tl);
         nextInterval += cfg.intervalPs;
     }
 
     u64 seg = addr / cfg.segmentBytes;
     u64 offset = addr % cfg.segmentBytes;
-    Tick start = now + sys.controllerLatencyPs;
     if (!remapCache.lookup(seg))
-        start = metaAccess(AccessType::Read, start);
+        metaAccess(AccessType::Read, tl);
 
     core::Loc loc = remap.lookup(seg);
-    Tick done;
     if (loc.inNm) {
-        done = nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
-                          mem::llcLineBytes, type, start);
+        tl.serialize(nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+                                mem::llcLineBytes, type, tl.now()));
     } else {
-        done = fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
-                          mem::llcLineBytes, type, start);
+        tl.serialize(fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+                                mem::llcLineBytes, type, tl.now()));
         podMea[seg % cfg.pods].touch(seg);
     }
-    recordService(loc.inNm);
-    return {done, loc.inNm};
+    flushPostedWrites(tl);
+    recordService(type, loc.inNm, tl);
+    return {tl, loc.inNm};
 }
 
 void

@@ -60,9 +60,9 @@ class MemPod : public mem::HybridMemory
     core::Loc locate(u64 flatSeg) const { return remap.lookup(flatSeg); }
 
   private:
-    void endInterval(Tick now);
-    void swapSegments(u64 hotSeg, u64 nmLoc, Tick now);
-    Tick metaAccess(AccessType type, Tick at);
+    void endInterval(mem::Timeline &tl);
+    void swapSegments(u64 hotSeg, u64 nmLoc, mem::Timeline &tl);
+    void metaAccess(AccessType type, mem::Timeline &tl);
 
     MemPodParams cfg;
     u64 nmSegs;

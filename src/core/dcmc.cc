@@ -1,5 +1,7 @@
 #include "core/dcmc.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -8,20 +10,9 @@
 
 namespace h2::core {
 
-namespace {
-
-/** Carve the NM into metadata / lined regions and size the flat space. */
-struct Layout
-{
-    u64 metaSectors;
-    u64 nmLocs;
-    u64 cacheSectors;
-    u64 nmFlatSectors;
-    u64 fmSectors;
-};
-
-Layout
-computeLayout(const mem::MemSystemParams &sys, const Hybrid2Params &cfg)
+Dcmc::Layout
+Dcmc::computeLayout(const mem::MemSystemParams &sys,
+                    const Hybrid2Params &cfg)
 {
     h2_assert(isPowerOf2(cfg.sectorBytes) && isPowerOf2(cfg.lineBytes),
               "sector/line sizes must be powers of two");
@@ -30,8 +21,10 @@ computeLayout(const mem::MemSystemParams &sys, const Hybrid2Params &cfg)
               "line size must be in [64, sectorBytes]");
     Layout l;
     u64 nmSectors = sys.nmBytes / cfg.sectorBytes;
-    l.metaSectors = ceilDiv(
-        static_cast<u64>(nmSectors * cfg.metadataFraction), 1);
+    // Round the fractional metadata sector up: the remap structures
+    // must fit entirely inside the reserved region.
+    l.metaSectors = static_cast<u64>(
+        std::ceil(double(nmSectors) * cfg.metadataFraction));
     l.nmLocs = nmSectors - l.metaSectors;
     l.cacheSectors = cfg.cacheBytes / cfg.sectorBytes;
     h2_assert(l.cacheSectors % cfg.ways == 0,
@@ -43,18 +36,22 @@ computeLayout(const mem::MemSystemParams &sys, const Hybrid2Params &cfg)
     return l;
 }
 
-} // namespace
-
 Dcmc::Dcmc(const mem::MemSystemParams &sysParams, const Hybrid2Params &params)
+    : Dcmc(sysParams, params, computeLayout(sysParams, params))
+{
+}
+
+Dcmc::Dcmc(const mem::MemSystemParams &sysParams, const Hybrid2Params &params,
+           const Layout &l)
     : mem::HybridMemory(sysParams,
                         dram::DramParams::hbm2(sysParams.nmBytes),
                         dram::DramParams::ddr4_3200(sysParams.fmBytes)),
       cfg(params),
-      metaSectors(computeLayout(sysParams, params).metaSectors),
-      nmLocs(computeLayout(sysParams, params).nmLocs),
-      cacheSectors(computeLayout(sysParams, params).cacheSectors),
-      nmFlatSectors(computeLayout(sysParams, params).nmFlatSectors),
-      fmSectors(computeLayout(sysParams, params).fmSectors),
+      metaSectors(l.metaSectors),
+      nmLocs(l.nmLocs),
+      cacheSectors(l.cacheSectors),
+      nmFlatSectors(l.nmFlatSectors),
+      fmSectors(l.fmSectors),
       tags(cacheSectors, params.ways, params.linesPerSector()),
       remap(nmFlatSectors + fmSectors, nmFlatSectors, cacheSectors,
             fmSectors),
@@ -86,138 +83,153 @@ Dcmc::fmByteAddr(u64 fmLoc, u64 offset) const
     return fmLoc * u64(cfg.sectorBytes) + offset;
 }
 
-Tick
-Dcmc::metaAccess(AccessType type, Tick at)
+void
+Dcmc::metaAccess(AccessType type, mem::Timeline &tl)
 {
     if (cfg.freeRemap) {
         ++nMetaSkipped;
-        return at;
+        return;
     }
     u64 metaBytesTotal = metaSectors * u64(cfg.sectorBytes);
     if (metaBytesTotal == 0) {
         ++nMetaSkipped;
-        return at;
+        return;
     }
-    // Spread table entries over the metadata region so metadata accesses
-    // exercise all NM channels/banks like a real table layout would.
-    Addr addr = (splitmix64(metaRotor++) * 64) % metaBytesTotal;
-    addr &= ~Addr(63);
-    Tick done = nm->access(addr, 64, type, at);
+    // Table reads gate the next step of the miss path; table writes are
+    // posted and drain behind the request's serialized reads.
     bytes.nmMeta += 64;
     if (type == AccessType::Read)
         ++nMetaReads;
     else
         ++nMetaWrites;
-    return done;
+    nmMetaRegionAccess(type, metaBytesTotal, metaRotor, tl);
 }
 
 void
-Dcmc::drainStackTraffic(Tick at)
+Dcmc::drainStackTraffic(mem::Timeline &tl)
 {
     for (u64 n = freeFm.takeNmSpills(); n > 0; --n)
-        metaAccess(AccessType::Write, at);
+        metaAccess(AccessType::Write, tl);
     for (u64 n = freeFm.takeNmFills(); n > 0; --n)
-        metaAccess(AccessType::Read, at);
+        metaAccess(AccessType::Read, tl);
 }
 
 u64
-Dcmc::allocateNmLoc(Tick now)
+Dcmc::allocateNmLoc(mem::Timeline &tl)
 {
     if (!alloc.poolEmpty())
         return alloc.popPool();
 
     // Figure 8: FIFO scan for a flat victim, swap it out to a free FM
-    // location, and hand its NM location to the cache.
+    // location, and hand its NM location to the cache. The scan's
+    // inverted-remap reads and the victim copy-out all gate the demand
+    // fetch that triggered the allocation, so they serialize.
     u64 victimLoc = alloc.findVictim(
         [&](u64 loc) { // pinned: sector has a live XTA entry
             auto flat = remap.invLookup(loc);
             return flat && tags.contains(*flat);
         },
         [&](u64) { // each probe reads the inverted remap table
-            metaAccess(AccessType::Read, now);
+            metaAccess(AccessType::Read, tl);
         });
     auto victimFlat = remap.invLookup(victimLoc);
     h2_assert(victimFlat, "victim scan returned an empty location");
 
     u64 fmLoc = freeFm.pop();
-    drainStackTraffic(now);
+    drainStackTraffic(tl);
 
     if (sectorUnused(*victimFlat)) {
         // Section 3.8: the OS marked the victim unused, so its data
         // need not survive the move - skip the copy entirely.
         ++nFreeSwapOuts;
     } else {
-        // Copy the whole victim sector NM -> FM.
-        nm->access(nmByteAddr(victimLoc, 0), cfg.sectorBytes,
-                   AccessType::Read, now);
-        fm->access(fmByteAddr(fmLoc, 0), cfg.sectorBytes,
-                   AccessType::Write, now);
+        // Copy the whole victim sector NM -> FM: the read empties the
+        // NM location (serialized, the fill reuses it); the FM write is
+        // posted once the data is buffered.
+        tl.serialize(nm->access(nmByteAddr(victimLoc, 0), cfg.sectorBytes,
+                                AccessType::Read, tl.now()));
+        postWrite(*fm, fmByteAddr(fmLoc, 0), cfg.sectorBytes, tl.now());
         bytes.nmSwap += cfg.sectorBytes;
         bytes.fmSwap += cfg.sectorBytes;
     }
 
     remap.update(*victimFlat, Loc{false, fmLoc});
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
     remap.invUpdate(victimLoc, std::nullopt);
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
 
     alloc.setOwner(victimLoc, NmAllocator::Owner::CacheData);
     ++nSwapOuts;
+    ++lifetimeSwapOuts;
     return victimLoc;
 }
 
 void
-Dcmc::migrateSector(u64 victimFlat, XtaEntry &victim, Tick now)
+Dcmc::migrateSector(u64 victimFlat, XtaEntry &victim, mem::Timeline &tl)
 {
-    // Fetch the lines not yet present in NM.
+    // Fetch the lines not yet present in NM. The reads of all missing
+    // lines issue together (they spread over FM channels/banks) and the
+    // miss path resumes once the slowest one lands; the NM fill writes
+    // are posted as each line arrives.
     u32 lps = cfg.linesPerSector();
+    Tick base = tl.now();
+    Tick fetched = base;
     for (u32 i = 0; i < lps; ++i) {
         if (victim.validMask & (u64(1) << i))
             continue;
         u64 off = u64(i) * cfg.lineBytes;
-        fm->access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
-                   AccessType::Read, now);
-        nm->access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
-                   AccessType::Write, now);
+        Tick rd = fm->access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
+                             AccessType::Read, base);
+        postWrite(*nm, nmByteAddr(victim.nmLoc, off), cfg.lineBytes, rd);
+        fetched = std::max(fetched, rd);
         bytes.fmMigration += cfg.lineBytes;
         bytes.nmMigration += cfg.lineBytes;
     }
+    tl.serialize(fetched);
     // The sector's home is now its NM location; its FM slot frees up.
     remap.update(victimFlat, Loc{true, victim.nmLoc});
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
     // The inverted remap table was already updated at fill time
     // (section 3.4, case 2b).
     freeFm.push(victim.fmLoc);
-    drainStackTraffic(now);
+    drainStackTraffic(tl);
     alloc.setOwner(victim.nmLoc, NmAllocator::Owner::Flat);
     ++nMigrations;
+    ++lifetimeMigrations;
 }
 
 void
-Dcmc::evictSectorToFm(u64 victimFlat, XtaEntry &victim, Tick now)
+Dcmc::evictSectorToFm(u64 victimFlat, XtaEntry &victim, mem::Timeline &tl)
 {
-    // Write back dirty lines to the sector's FM home.
+    // Write back dirty lines to the sector's FM home. The NM reads
+    // sourcing the writebacks issue together and serialize (the NM
+    // location must drain before the way is reused); the FM writes are
+    // posted once each line is buffered.
     u32 lps = cfg.linesPerSector();
+    Tick base = tl.now();
+    Tick drained = base;
     for (u32 i = 0; i < lps; ++i) {
         if (!(victim.dirtyMask & (u64(1) << i)))
             continue;
         u64 off = u64(i) * cfg.lineBytes;
-        nm->access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
-                   AccessType::Read, now);
-        fm->access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
-                   AccessType::Write, now);
+        Tick rd = nm->access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
+                             AccessType::Read, base);
+        postWrite(*fm, fmByteAddr(victim.fmLoc, off), cfg.lineBytes, rd);
+        drained = std::max(drained, rd);
+        bytes.nmWriteback += cfg.lineBytes;
         bytes.fmWriteback += cfg.lineBytes;
     }
+    tl.serialize(drained);
     // The NM location returns to the cache pool; clear its occupant.
     remap.invUpdate(victim.nmLoc, std::nullopt);
-    metaAccess(AccessType::Write, now);
+    metaAccess(AccessType::Write, tl);
     alloc.pushPool(victim.nmLoc);
     ++nEvictionsToFm;
     (void)victimFlat;
 }
 
 void
-Dcmc::evictEntry(u64 victimFlat, XtaEntry &victim, Tick now)
+Dcmc::evictEntry(u64 victimFlat, XtaEntry &victim, mem::Timeline &tl)
 {
     if (!victim.inFm) {
         // Case 1 (section 3.6): the sector already lives in NM; simply
@@ -240,18 +252,18 @@ Dcmc::evictEntry(u64 victimFlat, XtaEntry &victim, Tick now)
             ++nDeniedByBudget;
     }
     if (migrate)
-        migrateSector(victimFlat, victim, now);
+        migrateSector(victimFlat, victim, tl);
     else
-        evictSectorToFm(victimFlat, victim, now);
+        evictSectorToFm(victimFlat, victim, tl);
 }
 
 XtaEntry *
-Dcmc::prepareWay(u64 flatSector, Tick now)
+Dcmc::prepareWay(u64 flatSector, mem::Timeline &tl)
 {
     XtaEntry *way = tags.victimWay(flatSector);
     if (way->valid) {
         u64 victimFlat = tags.flatSectorOf(tags.setOf(flatSector), *way);
-        evictEntry(victimFlat, *way, now);
+        evictEntry(victimFlat, *way, tl);
         way->valid = false;
     }
     return way;
@@ -270,8 +282,9 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
     u64 lineBit = u64(1) << lineIdx;
     u64 lineOff = u64(lineIdx) * cfg.lineBytes;
 
-    Tick reqStart = now + sys.controllerLatencyPs + cfg.xtaLatencyPs;
-    mem::MemResult result;
+    mem::Timeline tl(now);
+    tl.advance(sys.controllerLatencyPs + cfg.xtaLatencyPs);
+    bool fromNm;
 
     XtaEntry *entry = tags.find(flatSector);
     if (entry) {
@@ -281,38 +294,44 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
         if (entry->validMask & lineBit) {
             // 1a: the line is in NM.
             ++nLineHits;
-            Tick done = nm->access(nmByteAddr(entry->nmLoc, offsetInSector),
-                                   mem::llcLineBytes, type, reqStart);
+            tl.serialize(nm->access(nmByteAddr(entry->nmLoc,
+                                               offsetInSector),
+                                    mem::llcLineBytes, type, tl.now()));
             bytes.nmDemand += mem::llcLineBytes;
             if (type == AccessType::Write)
                 entry->dirtyMask |= lineBit;
-            result = {done, true};
+            fromNm = true;
         } else {
-            // 1b: sector tracked, line still in FM; fetch it.
+            // 1b: sector tracked, line still in FM; fetch it. The
+            // critical word returns with the FM read; the NM line fill
+            // trails it off the critical path.
             ++nLineMisses;
             h2_assert(entry->inFm, "line miss on an NM-resident sector");
             migrPolicy.onDemandFmAccess();
-            Tick fetched = fm->access(fmByteAddr(entry->fmLoc, lineOff),
-                                      cfg.lineBytes, AccessType::Read,
-                                      reqStart);
-            nm->access(nmByteAddr(entry->nmLoc, lineOff), cfg.lineBytes,
-                       AccessType::Write, fetched);
+            tl.serialize(fm->access(fmByteAddr(entry->fmLoc, lineOff),
+                                    cfg.lineBytes, AccessType::Read,
+                                    tl.now()));
+            postWrite(*nm, nmByteAddr(entry->nmLoc, lineOff),
+                      cfg.lineBytes, tl.now());
             bytes.fmDemand += cfg.lineBytes;
             bytes.nmDemand += cfg.lineBytes;
             entry->validMask |= lineBit;
             if (type == AccessType::Write)
                 entry->dirtyMask |= lineBit;
-            result = {fetched, false};
+            fromNm = false;
         }
-        recordService(result.fromNm);
-        return result;
+        flushPostedWrites(tl);
+        recordService(type, fromNm, tl);
+        return {tl, fromNm};
     }
 
-    // 2: XTA miss - consult the remap table for the sector's location.
-    Tick metaDone = metaAccess(AccessType::Read, reqStart);
+    // 2: XTA miss - the remap-table read, the way eviction (writeback
+    // or migration) and, for FM sectors, the NM allocation all gate the
+    // demand fetch, in that order (Figure 7 + Figure 8).
+    metaAccess(AccessType::Read, tl);
     Loc loc = remap.lookup(flatSector);
 
-    XtaEntry *way = prepareWay(flatSector, now);
+    XtaEntry *way = prepareWay(flatSector, tl);
     tags.fill(flatSector, *way);
 
     if (loc.inNm) {
@@ -324,14 +343,14 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
         way->validMask = (cfg.linesPerSector() == 64)
             ? ~u64(0) : ((u64(1) << cfg.linesPerSector()) - 1);
         way->dirtyMask = way->validMask; // paper's convention
-        Tick done = nm->access(nmByteAddr(loc.idx, offsetInSector),
-                               mem::llcLineBytes, type, metaDone);
+        tl.serialize(nm->access(nmByteAddr(loc.idx, offsetInSector),
+                                mem::llcLineBytes, type, tl.now()));
         bytes.nmDemand += mem::llcLineBytes;
-        result = {done, true};
+        fromNm = true;
     } else {
         // 2b: allocate NM space and fetch the requested line from FM.
         ++nMissSectorFm;
-        u64 nmLoc = allocateNmLoc(now);
+        u64 nmLoc = allocateNmLoc(tl);
         way->inFm = true;
         way->nmLoc = nmLoc;
         way->fmLoc = loc.idx;
@@ -339,22 +358,25 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
         way->dirtyMask = (type == AccessType::Write) ? lineBit : 0;
         way->accessCounter = 1;
         migrPolicy.onDemandFmAccess();
-        Tick fetched = fm->access(fmByteAddr(loc.idx, lineOff),
-                                  cfg.lineBytes, AccessType::Read,
-                                  metaDone);
-        nm->access(nmByteAddr(nmLoc, lineOff), cfg.lineBytes,
-                   AccessType::Write, fetched);
+        tl.serialize(fm->access(fmByteAddr(loc.idx, lineOff),
+                                cfg.lineBytes, AccessType::Read,
+                                tl.now()));
+        // Critical word returned; the NM fill and the inverted-remap
+        // write trail off the critical path.
+        postWrite(*nm, nmByteAddr(nmLoc, lineOff), cfg.lineBytes,
+                  tl.now());
         bytes.fmDemand += cfg.lineBytes;
         bytes.nmDemand += cfg.lineBytes;
         // Record the occupant in the inverted remap table now (even
         // though the sector is not migrated) so the allocator's victim
         // scan stays correct (section 3.4).
         remap.invUpdate(nmLoc, flatSector);
-        metaAccess(AccessType::Write, fetched);
-        result = {fetched, false};
+        metaAccess(AccessType::Write, tl);
+        fromNm = false;
     }
-    recordService(result.fromNm);
-    return result;
+    flushPostedWrites(tl);
+    recordService(type, fromNm, tl);
+    return {tl, fromNm};
 }
 
 bool
@@ -431,7 +453,12 @@ Dcmc::checkInvariants() const
               "NM/FM location conservation violated: pool=",
               alloc.poolSize(), " cacheData=", entriesInFm,
               " stack=", freeFm.size(), " cacheSectors=", cacheSectors);
-    h2_assert(freeFm.size() == nMigrations - nSwapOuts,
+    // The stack depth must match the *lifetime* migration/swap balance:
+    // the measured counters (nMigrations/nSwapOuts) restart at every
+    // resetStats() while the stack keeps its depth across warm-up.
+    h2_assert(lifetimeMigrations >= lifetimeSwapOuts,
+              "more swap-outs than migrations ever happened");
+    h2_assert(freeFm.size() == lifetimeMigrations - lifetimeSwapOuts,
               "Free-FM-Stack depth diverged from migration/swap counts");
     h2_assert(freeFm.size() <= cacheSectors,
               "Free-FM-Stack exceeded its paper bound");
@@ -484,6 +511,7 @@ Dcmc::collectStats(StatSet &out) const
     out.add("dcmc.bytes.nmMeta", double(bytes.nmMeta));
     out.add("dcmc.bytes.nmMigration", double(bytes.nmMigration));
     out.add("dcmc.bytes.nmSwap", double(bytes.nmSwap));
+    out.add("dcmc.bytes.nmWriteback", double(bytes.nmWriteback));
     out.add("dcmc.bytes.fmDemand", double(bytes.fmDemand));
     out.add("dcmc.bytes.fmWriteback", double(bytes.fmWriteback));
     out.add("dcmc.bytes.fmMigration", double(bytes.fmMigration));

@@ -42,6 +42,7 @@ struct DcmcTraffic
     u64 nmMeta = 0;      ///< remap/inverted-remap/stack traffic
     u64 nmMigration = 0; ///< sector promotion line fetches written to NM
     u64 nmSwap = 0;      ///< victim sector reads during swap-out
+    u64 nmWriteback = 0; ///< NM reads sourcing dirty-line writebacks
     u64 fmDemand = 0;    ///< line fetches read from FM
     u64 fmWriteback = 0; ///< dirty-line writebacks on cache eviction
     u64 fmMigration = 0; ///< line fetches read from FM for migration
@@ -93,32 +94,48 @@ class Dcmc : public mem::HybridMemory
     u32 sectorBytes() const { return cfg.sectorBytes; }
 
   private:
+    /** NM carve-up and flat-space sizing computed once per Dcmc. */
+    struct Layout
+    {
+        u64 metaSectors;
+        u64 nmLocs;
+        u64 cacheSectors;
+        u64 nmFlatSectors;
+        u64 fmSectors;
+    };
+    static Layout computeLayout(const mem::MemSystemParams &sys,
+                                const Hybrid2Params &cfg);
+    Dcmc(const mem::MemSystemParams &sysParams, const Hybrid2Params &params,
+         const Layout &l);
+
     // Geometry helpers -------------------------------------------------
     Addr nmByteAddr(u64 nmLoc, u64 offset) const;
     Addr fmByteAddr(u64 fmLoc, u64 offset) const;
 
     /** Charge one 64 B metadata access in the NM metadata region.
-     *  Returns the completion time (== at when remapping is free). */
-    Tick metaAccess(AccessType type, Tick at);
+     *  Reads serialize onto @p tl; writes are posted (overlap). */
+    void metaAccess(AccessType type, mem::Timeline &tl);
 
     /** Drain Free-FM-Stack spill/fill traffic into metadata accesses. */
-    void drainStackTraffic(Tick at);
+    void drainStackTraffic(mem::Timeline &tl);
 
     /** Make room in @p flatSector's XTA set (Figure 9); returns the way
      *  to fill. */
-    XtaEntry *prepareWay(u64 flatSector, Tick now);
+    XtaEntry *prepareWay(u64 flatSector, mem::Timeline &tl);
 
     /** Handle the eviction of @p victim (valid entry). */
-    void evictEntry(u64 victimFlat, XtaEntry &victim, Tick now);
+    void evictEntry(u64 victimFlat, XtaEntry &victim, mem::Timeline &tl);
 
     /** Promote @p victim's sector into NM (migration). */
-    void migrateSector(u64 victimFlat, XtaEntry &victim, Tick now);
+    void migrateSector(u64 victimFlat, XtaEntry &victim,
+                       mem::Timeline &tl);
 
     /** Write @p victim's dirty lines back to FM and free its NM loc. */
-    void evictSectorToFm(u64 victimFlat, XtaEntry &victim, Tick now);
+    void evictSectorToFm(u64 victimFlat, XtaEntry &victim,
+                         mem::Timeline &tl);
 
     /** Obtain an NM location for a newly cached FM sector (Figure 8). */
-    u64 allocateNmLoc(Tick now);
+    u64 allocateNmLoc(mem::Timeline &tl);
 
     Hybrid2Params cfg;
     u64 metaSectors;
@@ -151,6 +168,12 @@ class Dcmc : public mem::HybridMemory
     u64 nMetaWrites = 0;
     u64 nMetaSkipped = 0;    ///< ops elided by the No-Remap ablation
     u64 nFreeSwapOuts = 0;   ///< swap-outs that skipped the copy (3.8)
+
+    // Lifetime counters: survive resetStats() so structural invariants
+    // (Free-FM-Stack depth == migrations - swap-outs) stay checkable
+    // after a warm-up reset.
+    u64 lifetimeMigrations = 0;
+    u64 lifetimeSwapOuts = 0;
 };
 
 } // namespace h2::core

@@ -53,7 +53,11 @@ MigrationPolicy::decide(const Xta &xta, u64 flatSector,
     if (!counterWins)
         return MigrationVerdict::DeniedByCounter;
 
-    // (ii)+(iii) Net cost against the FM-access budget.
+    // (ii)+(iii) Net cost against the FM-access budget. The comparison
+    // is deliberately inclusive: Figure 10 of the paper evicts when the
+    // net cost is "higher than or equal to" the FM-access counter, so a
+    // migration whose cost exactly matches the remaining budget is
+    // denied — migrating must leave budget over, it may not zero it.
     u32 netCost = migrationNetCost(xta.linesPerSector(),
                                    victim.popcountValid(),
                                    victim.popcountDirty());

@@ -1,6 +1,7 @@
 #include "mem/hybrid_memory.h"
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace h2::mem {
 
@@ -44,10 +45,57 @@ HybridMemory::dynamicEnergyPj() const
 }
 
 void
+HybridMemory::nmMetaRegionAccess(AccessType type, u64 regionBytes,
+                                 u64 &rotor, Timeline &tl)
+{
+    Addr addr = (splitmix64(rotor++) * 64) % regionBytes;
+    addr &= ~Addr(63);
+    if (type == AccessType::Read)
+        tl.serialize(nm->access(addr, 64, type, tl.now()));
+    else
+        postWrite(*nm, addr, 64, tl.now());
+}
+
+double
+HybridMemory::avgLatencyPs() const
+{
+    return nDemandReads
+        ? double(demandLatencyPsTotal) / double(nDemandReads) : 0.0;
+}
+
+double
+HybridMemory::avgNmLatencyPs() const
+{
+    return nDemandReadsFromNm
+        ? double(nmLatencyPsTotal) / double(nDemandReadsFromNm) : 0.0;
+}
+
+double
+HybridMemory::avgMissLatencyPs() const
+{
+    u64 misses = nDemandReads - nDemandReadsFromNm;
+    return misses ? double(missLatencyPsTotal) / double(misses) : 0.0;
+}
+
+double
+HybridMemory::avgWritebackLatencyPs() const
+{
+    return nWritebacks
+        ? double(writebackLatencyPsTotal) / double(nWritebacks) : 0.0;
+}
+
+void
 HybridMemory::resetStats()
 {
     nRequests = 0;
     nFromNm = 0;
+    nDemandReads = 0;
+    nDemandReadsFromNm = 0;
+    nWritebacks = 0;
+    demandLatencyPsTotal = 0;
+    nmLatencyPsTotal = 0;
+    missLatencyPsTotal = 0;
+    writebackLatencyPsTotal = 0;
     fm->resetStats();
     if (nm)
         nm->resetStats();
@@ -58,6 +106,12 @@ HybridMemory::collectStats(StatSet &out) const
 {
     out.add("mem.requests", double(nRequests));
     out.add("mem.requestsFromNm", double(nFromNm));
+    out.add("mem.demandReads", double(nDemandReads));
+    out.add("mem.writebacks", double(nWritebacks));
+    out.add("mem.avgLatencyPs", avgLatencyPs());
+    out.add("mem.avgNmLatencyPs", avgNmLatencyPs());
+    out.add("mem.avgMissLatencyPs", avgMissLatencyPs());
+    out.add("mem.avgWritebackLatencyPs", avgWritebackLatencyPs());
     out.add("mem.dynamicEnergyPj", dynamicEnergyPj());
     fm->collectStats(out, "fm");
     if (nm)

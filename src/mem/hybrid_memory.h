@@ -14,10 +14,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/dram_device.h"
+#include "mem/timeline.h"
 
 namespace h2::mem {
 
@@ -50,8 +52,13 @@ struct MemSystemParams
 /** Outcome of one 64 B request into the memory organization. */
 struct MemResult
 {
-    Tick completeAt = 0;  ///< when the critical 64 B block is available
+    /** The request's critical path: issue tick, serialized structural
+     *  segments, and the trailing (overlapped) frontier. */
+    Timeline timeline;
     bool fromNm = false;  ///< served by near memory
+
+    /** When the critical 64 B block is available. */
+    Tick completeAt() const { return timeline.completeAt(); }
 };
 
 /**
@@ -105,17 +112,92 @@ class HybridMemory
     u64 requests() const { return nRequests; }
     u64 requestsFromNm() const { return nFromNm; }
 
+    /** Mean critical-path latency (ps) of demand (read) requests —
+     *  the traffic a core actually waits on. */
+    double avgLatencyPs() const;
+    /** Mean critical-path latency (ps) of NM-served demand reads. */
+    double avgNmLatencyPs() const;
+    /** Mean critical-path latency (ps) of FM-served (miss) demand
+     *  reads. Write requests are tracked separately — in the simulated
+     *  system every Write at this interface is an LLC writeback no
+     *  core waits on, so they must not skew the per-miss cost. */
+    double avgMissLatencyPs() const;
+    /** Mean critical-path latency (ps) of write requests (LLC
+     *  writebacks in the simulated system). */
+    double avgWritebackLatencyPs() const;
+
     /** Total dynamic DRAM energy (NM + FM), picojoules. */
     double dynamicEnergyPj() const;
 
   protected:
-    /** Record one served request for the NM-served statistic. */
+    /**
+     * Queue a posted write in the controller's write buffer. Buffered
+     * writes are issued by flushPostedWrites() after the request's
+     * serialized reads, so demand traffic keeps bank/channel priority
+     * over structural writes whose data is already latched. @p readyAt
+     * is when the data became available (e.g. its source read's
+     * completion); the device clamps to bank availability.
+     */
     void
-    recordService(bool fromNm)
+    postWrite(dram::DramDevice &dev, Addr addr, u32 bytes, Tick readyAt)
+    {
+        postedWrites.push_back({&dev, addr, bytes, readyAt});
+    }
+
+    /** Drain the write buffer (in post order); completions extend only
+     *  @p tl's trailing edge, never the critical path. Every access()
+     *  implementation calls this once before returning. */
+    void
+    flushPostedWrites(Timeline &tl)
+    {
+        for (const PostedWrite &w : postedWrites)
+            tl.overlap(w.dev->access(w.addr, w.bytes, AccessType::Write,
+                                     w.readyAt));
+        postedWrites.clear();
+    }
+
+    /**
+     * One 64 B access into a reserved NM metadata region (remap/tag
+     * tables) of @p regionBytes, spread via @p rotor so table traffic
+     * exercises all NM channels/banks. Reads serialize onto @p tl;
+     * writes go through the posted-write buffer. Callers keep their
+     * own read/write counters.
+     */
+    void nmMetaRegionAccess(AccessType type, u64 regionBytes, u64 &rotor,
+                            Timeline &tl);
+
+    /** Reserved NM slice the baseline designs keep their remap/tag
+     *  tables in: 16 MiB, capped at a quarter of NM. */
+    u64
+    baselineMetaRegionBytes() const
+    {
+        u64 cap = sys.nmBytes / 4;
+        return cap < (16ull << 20) ? cap : (16ull << 20);
+    }
+
+    /** Record one served request: NM-served accounting plus the
+     *  request's serialized critical-path latency. Reads (demand
+     *  fills) and writes (LLC writebacks) land in separate latency
+     *  buckets. */
+    void
+    recordService(AccessType type, bool fromNm, const Timeline &tl)
     {
         ++nRequests;
         if (fromNm)
             ++nFromNm;
+        if (type == AccessType::Read) {
+            ++nDemandReads;
+            demandLatencyPsTotal += tl.criticalPathPs();
+            if (fromNm) {
+                ++nDemandReadsFromNm;
+                nmLatencyPsTotal += tl.criticalPathPs();
+            } else {
+                missLatencyPsTotal += tl.criticalPathPs();
+            }
+        } else {
+            ++nWritebacks;
+            writebackLatencyPsTotal += tl.criticalPathPs();
+        }
     }
 
     MemSystemParams sys;
@@ -123,8 +205,24 @@ class HybridMemory
     std::unique_ptr<dram::DramDevice> fm;
 
   private:
+    struct PostedWrite
+    {
+        dram::DramDevice *dev;
+        Addr addr;
+        u32 bytes;
+        Tick readyAt;
+    };
+
     u64 nRequests = 0;
     u64 nFromNm = 0;
+    u64 nDemandReads = 0;
+    u64 nDemandReadsFromNm = 0;
+    u64 nWritebacks = 0;
+    Tick demandLatencyPsTotal = 0;
+    Tick nmLatencyPsTotal = 0;
+    Tick missLatencyPsTotal = 0;
+    Tick writebackLatencyPsTotal = 0;
+    std::vector<PostedWrite> postedWrites;
 };
 
 /** Request line size from the LLC. */

@@ -75,7 +75,10 @@ CoreModel::step()
         Addr lineAddr = paddr & ~Addr(mem::llcLineBytes - 1);
         auto mr = memory.access(lineAddr, AccessType::Read, clock);
         if (rec.type == AccessType::Read)
-            pending.push_back({mr.completeAt, instrs});
+            // The pending miss retires when the critical word returns;
+            // the timeline's trailing (overlapped) traffic drains in
+            // the background and is only felt through DRAM contention.
+            pending.push_back({mr.timeline.completeAt(), instrs});
     }
     if (res.writeback)
         memory.access(*res.writeback, AccessType::Write, clock);

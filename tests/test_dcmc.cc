@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/rng.h"
 #include "common/units.h"
 #include "core/dcmc.h"
 
@@ -74,7 +77,8 @@ TEST_F(DcmcTest, LayoutAndCapacity)
 {
     // flat = (NM lined - cache) + FM sectors.
     u64 nmSectors = 16 * MiB / 2048;
-    u64 metaSectors = ceilDiv(u64(nmSectors * 0.035), 1);
+    // Fractional metadata sectors round up (the tables must fit).
+    u64 metaSectors = u64(std::ceil(double(nmSectors) * 0.035));
     u64 nmLocs = nmSectors - metaSectors;
     EXPECT_EQ(nmFlatSectors(), nmLocs - kCacheSectors);
     EXPECT_EQ(dcmc.flatCapacity(),
@@ -306,10 +310,10 @@ TEST_F(DcmcTest, TimingOrdersNmBelowFm)
     // the fill traffic of the first access has drained.
     u64 s = fmFlatSector();
     auto fmFirst = access(sectorAddr(s));
-    Tick fmLatency = fmFirst.completeAt - t;
+    Tick fmLatency = fmFirst.completeAt() - t;
     t += 1000 * 1000; // let the NM fill write finish
     auto nmHit = access(sectorAddr(s));
-    Tick nmLatency = nmHit.completeAt - t;
+    Tick nmLatency = nmHit.completeAt() - t;
     EXPECT_LT(nmLatency, fmLatency);
 }
 
@@ -324,6 +328,62 @@ TEST_F(DcmcTest, InvariantsAfterMixedSequence)
     }
     dcmc.checkInvariants();
     EXPECT_EQ(dcmc.requests(), 4000u);
+}
+
+TEST(DcmcWarmupReset, InvariantsHoldAfterResetStats)
+{
+    // resetStats() zeroes the measured migration/swap counters but the
+    // Free-FM-Stack keeps its depth: the conservation invariant must be
+    // tracked with lifetime counters, not measured ones.
+    Hybrid2Params p = smallParams();
+    p.migrateAll = true;
+    Dcmc d(smallSys(), p);
+    Tick t = 0;
+    u64 sets = d.xta().numSets();
+    u64 base = (d.remapTable().nmFlatSectors() / sets + 2) * sets;
+    // Overflow set 0: each eviction migrates and leaves one free FM
+    // location on the stack (the pool still has room, so no swap-out
+    // pops it back off).
+    for (u64 k = 0; k <= 20; ++k)
+        d.access((base + k * sets) * 2048, AccessType::Read, t += 10000);
+    ASSERT_GT(d.migrations(), 0u);
+    ASSERT_EQ(d.swapOuts(), 0u);
+    ASSERT_GT(d.freeFmStack().size(), 0u);
+
+    d.resetStats();
+    EXPECT_EQ(d.migrations(), 0u);
+    d.checkInvariants(); // non-empty stack vs. zeroed measured counters
+
+    // Keep migrating after the reset; the invariant must still hold.
+    for (u64 k = 21; k <= 40; ++k)
+        d.access((base + k * sets) * 2048, AccessType::Read, t += 10000);
+    EXPECT_GT(d.migrations(), 0u);
+    d.checkInvariants();
+}
+
+TEST(DcmcReconciliation, TrafficCountersMatchDramDevices)
+{
+    // Every byte a DRAM device moves must be attributed to exactly one
+    // dcmc.bytes.* purpose counter (demand, meta, migration, swap,
+    // writeback) — otherwise the Figure 16/17 traffic breakdowns drift
+    // from DramStats.
+    Dcmc d(smallSys(), smallParams());
+    Rng rng(13);
+    Tick t = 0;
+    for (int i = 0; i < 8000; ++i) {
+        Addr a = rng.below(d.flatCapacity() / 64) * 64;
+        d.access(a, rng.chance(0.3) ? AccessType::Write : AccessType::Read,
+                 t += 4000);
+    }
+    const DcmcTraffic &b = d.traffic();
+    // The scenario must exercise the once-missing counter.
+    EXPECT_GT(d.evictionsToFm(), 0u);
+    EXPECT_GT(b.nmWriteback, 0u);
+    EXPECT_EQ(b.nmDemand + b.nmMeta + b.nmMigration + b.nmSwap +
+              b.nmWriteback,
+              d.nmDevice().stats().totalBytes());
+    EXPECT_EQ(b.fmDemand + b.fmWriteback + b.fmMigration + b.fmSwap,
+              d.fmDevice().stats().totalBytes());
 }
 
 TEST(DcmcExtension, FreeSpaceHintsSkipSwapCopies)

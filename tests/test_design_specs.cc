@@ -73,8 +73,8 @@ TEST_P(DesignSpecSmoke, Serves1kAccessesWithInvariantsHeld)
         Addr addr = rng.below(capacity) & ~Addr(63);
         auto type = (i % 4 == 0) ? AccessType::Write : AccessType::Read;
         mem::MemResult r = design->access(addr, type, now);
-        EXPECT_GE(r.completeAt, now);
-        now = r.completeAt;
+        EXPECT_GE(r.completeAt(), now);
+        now = r.completeAt();
     }
     design->checkInvariants();
     EXPECT_EQ(design->requests(), 1000u);

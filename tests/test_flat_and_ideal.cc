@@ -28,7 +28,7 @@ TEST(FlatBaseline, ServesEverythingFromFm)
     FlatBaseline b(smallSys());
     auto r = b.access(0, AccessType::Read, 0);
     EXPECT_FALSE(r.fromNm);
-    EXPECT_GT(r.completeAt, 0u);
+    EXPECT_GT(r.completeAt(), 0u);
     EXPECT_EQ(b.requests(), 1u);
     EXPECT_EQ(b.requestsFromNm(), 0u);
     EXPECT_FALSE(b.hasNm());
@@ -65,7 +65,7 @@ TEST(IdealCache, MissThenHit)
     IdealCache c(smallSys(), lineParams(256));
     auto miss = c.access(0, AccessType::Read, 0);
     EXPECT_FALSE(miss.fromNm);
-    auto hit = c.access(0, AccessType::Read, miss.completeAt);
+    auto hit = c.access(0, AccessType::Read, miss.completeAt());
     EXPECT_TRUE(hit.fromNm);
     EXPECT_EQ(c.fills(), 1u);
     EXPECT_EQ(c.lineHits(), 1u);

@@ -169,6 +169,22 @@ TEST_F(PolicyTest, EqualBudgetIsDenied)
               MigrationVerdict::DeniedByBudget);
 }
 
+TEST_F(PolicyTest, ExactBudgetBoundaryFollowsFigure10)
+{
+    // Figure 10 evicts when the net cost is "higher than or equal to"
+    // the FM-access counter: a migration whose cost exactly equals the
+    // remaining budget is denied; one budget unit above it migrates.
+    XtaEntry *victim = install(0, 10, true, 1, 0); // cost = 2*8 = 16
+    giveBudget(16);
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::DeniedByBudget);
+    EXPECT_EQ(policy.budget(), 16u); // denial consumes nothing
+    giveBudget(1); // 17 > 16: strictly above the cost
+    EXPECT_EQ(policy.decide(xta, 0, *victim),
+              MigrationVerdict::Migrate);
+    EXPECT_EQ(policy.budget(), 1u); // 17 - 16
+}
+
 TEST_F(PolicyTest, MigrationConsumesBudget)
 {
     XtaEntry *victim = install(0, 10, true, kLps, kLps); // cost = 1

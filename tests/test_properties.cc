@@ -148,7 +148,7 @@ TEST(AblationOrdering, NoRemapIsNeverSlowerThanDefault)
         for (int i = 0; i < 20000; ++i) {
             Addr a = rng.below(d.flatCapacity() / 64) * 64;
             auto r = d.access(a, AccessType::Read, t += 4000);
-            lastDone = std::max(lastDone, r.completeAt);
+            lastDone = std::max(lastDone, r.completeAt());
         }
         return lastDone;
     };

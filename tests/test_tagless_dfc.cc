@@ -98,8 +98,8 @@ TEST(Dfc, TagCacheMissCostsLatency)
     DramCacheParams ip;
     ip.lineBytes = 1024;
     IdealCache ideal(sys, ip);
-    Tick tDfc = dfc.access(0, AccessType::Read, 0).completeAt;
-    Tick tIdeal = ideal.access(0, AccessType::Read, 0).completeAt;
+    Tick tDfc = dfc.access(0, AccessType::Read, 0).completeAt();
+    Tick tIdeal = ideal.access(0, AccessType::Read, 0).completeAt();
     EXPECT_GT(tDfc, tIdeal);
 }
 
