@@ -139,16 +139,16 @@ Chameleon::promote(u64 group, u64 seg, mem::Timeline &tl)
         // The displaced native wins back its slot: plain swap with the
         // member currently holding it (the native lives in that
         // member's FM home).
-        Tick rdNm = nm->access(nmSlot, segB, AccessType::Read, base);
-        Tick rdFm = fm->access(fmHomeOf(old) * segB, segB,
+        Tick rdNm = nmc().access(nmSlot, segB, AccessType::Read, base);
+        Tick rdFm = fmc().access(fmHomeOf(old) * segB, segB,
                                AccessType::Read, base);
         tl.serialize(std::max(rdNm, rdFm));
         postWrite(*nm, nmSlot, segB, tl.now());
         postWrite(*fm, fmHomeOf(old) * segB, segB, tl.now());
     } else if (old == nativeOf(group)) {
         // Plain pairwise swap: native <-> seg.
-        Tick rdNm = nm->access(nmSlot, segB, AccessType::Read, base);
-        Tick rdFm = fm->access(fmHomeOf(seg) * segB, segB,
+        Tick rdNm = nmc().access(nmSlot, segB, AccessType::Read, base);
+        Tick rdFm = fmc().access(fmHomeOf(seg) * segB, segB,
                                AccessType::Read, base);
         tl.serialize(std::max(rdNm, rdFm));
         postWrite(*nm, nmSlot, segB, tl.now());
@@ -156,10 +156,10 @@ Chameleon::promote(u64 group, u64 seg, mem::Timeline &tl)
     } else {
         // Three-way exchange: old returns home, native moves to seg's
         // home, seg enters the NM slot.
-        Tick rdNm = nm->access(nmSlot, segB, AccessType::Read, base);
-        Tick rdOld = fm->access(fmHomeOf(old) * segB, segB,
+        Tick rdNm = nmc().access(nmSlot, segB, AccessType::Read, base);
+        Tick rdOld = fmc().access(fmHomeOf(old) * segB, segB,
                                 AccessType::Read, base);
-        Tick rdSeg = fm->access(fmHomeOf(seg) * segB, segB,
+        Tick rdSeg = fmc().access(fmHomeOf(seg) * segB, segB,
                                 AccessType::Read, base);
         tl.serialize(std::max({rdNm, rdOld, rdSeg}));
         postWrite(*nm, nmSlot, segB, tl.now());
@@ -197,7 +197,7 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
         // Served from the group's NM slot.
         if (st.counter > 0)
             --st.counter;
-        tl.serialize(nm->access(group * segB + offset, mem::llcLineBytes,
+        tl.serialize(nmc().access(group * segB + offset, mem::llcLineBytes,
                                 type, tl.now()));
         fromNm = true;
     } else {
@@ -210,13 +210,13 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
         if (cfg.cacheMode && cacheMode.access(cacheKey, type)) {
             ++nCacheModeHits;
             Addr nmBase = sys.nmBytes - cfg.cacheSliceBytes;
-            tl.serialize(nm->access(nmBase
+            tl.serialize(nmc().access(nmBase
                                     + cacheKey % cfg.cacheSliceBytes
                                     + offset, mem::llcLineBytes, type,
                                     tl.now()));
             fromNm = true;
         } else {
-            tl.serialize(fm->access(fmLoc * segB + offset,
+            tl.serialize(fmc().access(fmLoc * segB + offset,
                                     mem::llcLineBytes, type, tl.now()));
             fromNm = false;
             if (cfg.cacheMode && touchedBefore(seg)) {
@@ -233,12 +233,12 @@ Chameleon::access(Addr addr, AccessType type, Tick now)
                     u64 vLoc = isNative(vSeg)
                         ? fmHomeOf(state(groupOf(vSeg)).nmMember)
                         : fmHomeOf(vSeg);
-                    Tick vRd = nm->access(
+                    Tick vRd = nmc().access(
                         nmBase + victim->addr % cfg.cacheSliceBytes,
                         segB, AccessType::Read, tl.now());
                     postWrite(*fm, vLoc * segB, segB, vRd);
                 }
-                Tick fillRd = fm->access(fmLoc * segB, segB,
+                Tick fillRd = fmc().access(fmLoc * segB, segB,
                                          AccessType::Read, tl.now());
                 postWrite(*nm, nmBase + cacheKey % cfg.cacheSliceBytes,
                           segB, fillRd);

@@ -18,7 +18,7 @@ FlatBaseline::access(Addr addr, AccessType type, Tick now)
               "access beyond FM capacity");
     mem::Timeline tl(now);
     tl.advance(sys.controllerLatencyPs);
-    tl.serialize(fm->access(addr, mem::llcLineBytes, type, tl.now()));
+    tl.serialize(fmc().access(addr, mem::llcLineBytes, type, tl.now()));
     recordService(type, false, tl);
     return {tl, false};
 }

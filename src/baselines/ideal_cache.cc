@@ -70,7 +70,7 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
         // The cache maps NM 1:1 by line address modulo NM capacity; the
         // tag store guarantees at most one resident line per frame.
         Addr nmAddr = lineAddr % sys.nmBytes + (addr - lineAddr);
-        tl.serialize(nm->access(nmAddr, mem::llcLineBytes, type,
+        tl.serialize(nmc().access(nmAddr, mem::llcLineBytes, type,
                                 tl.now()));
         flushPostedWrites(tl);
         recordService(type, true, tl);
@@ -92,7 +92,7 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
             // drains the frame before it is refilled (serialized); the
             // FM write is posted once the data is buffered and drains
             // behind the demand fetch.
-            tl.serialize(nm->access(victim->addr % sys.nmBytes,
+            tl.serialize(nmc().access(victim->addr % sys.nmBytes,
                                     cp.lineBytes, AccessType::Read,
                                     tl.now()));
             postWrite(*fm, victim->addr, cp.lineBytes, tl.now());
@@ -104,14 +104,14 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
 
     // Critical word first; the rest of the line and the NM fill stream
     // in behind it, off the critical path.
-    tl.serialize(fm->access(addr, mem::llcLineBytes, AccessType::Read,
+    tl.serialize(fmc().access(addr, mem::llcLineBytes, AccessType::Read,
                             tl.now()));
     Tick critical = tl.now();
     Tick lineReady = critical; // when the whole line is buffered
     if (cp.lineBytes > mem::llcLineBytes) {
         // Remaining bytes of the line (split around the critical block).
         if (addr > lineAddr) {
-            Tick rd = fm->access(lineAddr,
+            Tick rd = fmc().access(lineAddr,
                                  static_cast<u32>(addr - lineAddr),
                                  AccessType::Read, critical);
             tl.overlap(rd);
@@ -119,7 +119,7 @@ IdealCache::access(Addr addr, AccessType type, Tick now)
         }
         Addr after = addr + mem::llcLineBytes;
         if (after < lineAddr + cp.lineBytes) {
-            Tick rd = fm->access(
+            Tick rd = fmc().access(
                 after, static_cast<u32>(lineAddr + cp.lineBytes - after),
                 AccessType::Read, critical);
             tl.overlap(rd);

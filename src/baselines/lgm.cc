@@ -65,11 +65,11 @@ Lgm::migrateSegment(u64 hotSeg, mem::Timeline &tl)
     Tick base = tl.now();
     Tick copied = base;
     if (victimBytes > 0)
-        copied = std::max(copied, nm->access(nmLoc * u64(segB),
+        copied = std::max(copied, nmc().access(nmLoc * u64(segB),
                                              victimBytes,
                                              AccessType::Read, base));
     if (hotBytes > 0)
-        copied = std::max(copied, fm->access(hotHome.idx * u64(segB),
+        copied = std::max(copied, fmc().access(hotHome.idx * u64(segB),
                                              hotBytes, AccessType::Read,
                                              base));
     tl.serialize(copied);
@@ -126,10 +126,10 @@ Lgm::access(Addr addr, AccessType type, Tick now)
 
     core::Loc loc = remap.lookup(seg);
     if (loc.inNm) {
-        tl.serialize(nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+        tl.serialize(nmc().access(loc.idx * u64(cfg.segmentBytes) + offset,
                                 mem::llcLineBytes, type, tl.now()));
     } else {
-        tl.serialize(fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+        tl.serialize(fmc().access(loc.idx * u64(cfg.segmentBytes) + offset,
                                 mem::llcLineBytes, type, tl.now()));
         ++intervalCounts[seg];
     }

@@ -54,9 +54,9 @@ MemPod::swapSegments(u64 hotSeg, u64 nmLoc, mem::Timeline &tl)
     u32 segB = cfg.segmentBytes;
     // Read both segments (issued together, the swap resumes when the
     // slower one lands), then post both destination writes.
-    Tick rdNm = nm->access(nmLoc * u64(segB), segB, AccessType::Read,
+    Tick rdNm = nmc().access(nmLoc * u64(segB), segB, AccessType::Read,
                            tl.now());
-    Tick rdFm = fm->access(hotHome.idx * u64(segB), segB,
+    Tick rdFm = fmc().access(hotHome.idx * u64(segB), segB,
                            AccessType::Read, tl.now());
     tl.serialize(std::max(rdNm, rdFm));
     postWrite(*nm, nmLoc * u64(segB), segB, tl.now());
@@ -124,10 +124,10 @@ MemPod::access(Addr addr, AccessType type, Tick now)
 
     core::Loc loc = remap.lookup(seg);
     if (loc.inNm) {
-        tl.serialize(nm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+        tl.serialize(nmc().access(loc.idx * u64(cfg.segmentBytes) + offset,
                                 mem::llcLineBytes, type, tl.now()));
     } else {
-        tl.serialize(fm->access(loc.idx * u64(cfg.segmentBytes) + offset,
+        tl.serialize(fmc().access(loc.idx * u64(cfg.segmentBytes) + offset,
                                 mem::llcLineBytes, type, tl.now()));
         podMea[seg % cfg.pods].touch(seg);
     }

@@ -43,6 +43,13 @@ JsonWriter::escape(std::string_view s)
 std::string
 JsonWriter::formatDouble(double v)
 {
+    // to_chars renders non-finite values as "nan"/"inf", which is
+    // valid in neither JSON nor the CSV consumed by the plotting
+    // scripts. Zero-count averages must already be guarded at the stat
+    // source; render anything that slips through as 0 so one bad cell
+    // cannot poison a whole report.
+    if (!std::isfinite(v))
+        return "0";
     char buf[32];
     auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
     h2_assert(ec == std::errc{}, "double format overflow");

@@ -69,7 +69,9 @@ class JsonWriter
     /** JSON string escaping (quotes not included). */
     static std::string escape(std::string_view s);
 
-    /** Locale-independent shortest round-trip rendering of @p v. */
+    /** Locale-independent shortest round-trip rendering of @p v.
+     *  Non-finite values render as "0" — neither JSON nor the CSV
+     *  reports have a representation for NaN/inf. */
     static std::string formatDouble(double v);
 
   private:

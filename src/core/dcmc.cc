@@ -146,7 +146,7 @@ Dcmc::allocateNmLoc(mem::Timeline &tl)
         // Copy the whole victim sector NM -> FM: the read empties the
         // NM location (serialized, the fill reuses it); the FM write is
         // posted once the data is buffered.
-        tl.serialize(nm->access(nmByteAddr(victimLoc, 0), cfg.sectorBytes,
+        tl.serialize(nmc().access(nmByteAddr(victimLoc, 0), cfg.sectorBytes,
                                 AccessType::Read, tl.now()));
         postWrite(*fm, fmByteAddr(fmLoc, 0), cfg.sectorBytes, tl.now());
         bytes.nmSwap += cfg.sectorBytes;
@@ -178,7 +178,7 @@ Dcmc::migrateSector(u64 victimFlat, XtaEntry &victim, mem::Timeline &tl)
         if (victim.validMask & (u64(1) << i))
             continue;
         u64 off = u64(i) * cfg.lineBytes;
-        Tick rd = fm->access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
+        Tick rd = fmc().access(fmByteAddr(victim.fmLoc, off), cfg.lineBytes,
                              AccessType::Read, base);
         postWrite(*nm, nmByteAddr(victim.nmLoc, off), cfg.lineBytes, rd);
         fetched = std::max(fetched, rd);
@@ -212,7 +212,7 @@ Dcmc::evictSectorToFm(u64 victimFlat, XtaEntry &victim, mem::Timeline &tl)
         if (!(victim.dirtyMask & (u64(1) << i)))
             continue;
         u64 off = u64(i) * cfg.lineBytes;
-        Tick rd = nm->access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
+        Tick rd = nmc().access(nmByteAddr(victim.nmLoc, off), cfg.lineBytes,
                              AccessType::Read, base);
         postWrite(*fm, fmByteAddr(victim.fmLoc, off), cfg.lineBytes, rd);
         drained = std::max(drained, rd);
@@ -294,7 +294,7 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
         if (entry->validMask & lineBit) {
             // 1a: the line is in NM.
             ++nLineHits;
-            tl.serialize(nm->access(nmByteAddr(entry->nmLoc,
+            tl.serialize(nmc().access(nmByteAddr(entry->nmLoc,
                                                offsetInSector),
                                     mem::llcLineBytes, type, tl.now()));
             bytes.nmDemand += mem::llcLineBytes;
@@ -308,7 +308,7 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
             ++nLineMisses;
             h2_assert(entry->inFm, "line miss on an NM-resident sector");
             migrPolicy.onDemandFmAccess();
-            tl.serialize(fm->access(fmByteAddr(entry->fmLoc, lineOff),
+            tl.serialize(fmc().access(fmByteAddr(entry->fmLoc, lineOff),
                                     cfg.lineBytes, AccessType::Read,
                                     tl.now()));
             postWrite(*nm, nmByteAddr(entry->nmLoc, lineOff),
@@ -343,7 +343,7 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
         way->validMask = (cfg.linesPerSector() == 64)
             ? ~u64(0) : ((u64(1) << cfg.linesPerSector()) - 1);
         way->dirtyMask = way->validMask; // paper's convention
-        tl.serialize(nm->access(nmByteAddr(loc.idx, offsetInSector),
+        tl.serialize(nmc().access(nmByteAddr(loc.idx, offsetInSector),
                                 mem::llcLineBytes, type, tl.now()));
         bytes.nmDemand += mem::llcLineBytes;
         fromNm = true;
@@ -358,7 +358,7 @@ Dcmc::access(Addr addr, AccessType type, Tick now)
         way->dirtyMask = (type == AccessType::Write) ? lineBit : 0;
         way->accessCounter = 1;
         migrPolicy.onDemandFmAccess();
-        tl.serialize(fm->access(fmByteAddr(loc.idx, lineOff),
+        tl.serialize(fmc().access(fmByteAddr(loc.idx, lineOff),
                                 cfg.lineBytes, AccessType::Read,
                                 tl.now()));
         // Critical word returned; the NM fill and the inverted-remap

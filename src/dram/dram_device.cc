@@ -39,6 +39,23 @@ DramDevice::DramDevice(const DramParams &params)
 }
 
 Tick
+DramDevice::chunkDone(const Bank &bank, u64 row, Tick busUntil, u32 bytes,
+                      Tick start) const
+{
+    u32 latCycles;
+    if (bank.open && bank.row == row)
+        latCycles = cfg.tCas;
+    else if (!bank.open)
+        latCycles = cfg.tRcd + cfg.tCas;
+    else
+        latCycles = cfg.tRp + cfg.tRcd + cfg.tCas;
+    Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
+    Tick dataStart = std::max(cmdDone, busUntil);
+    // Double data rate: two beats of busBytes per clock.
+    return dataStart + burstClocks(bytes) * cfg.clockPs;
+}
+
+Tick
 DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
 {
     u32 chIdx;
@@ -48,30 +65,23 @@ DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
     Bank &bank = ch.banks[bankIdx];
 
     Tick start = std::max(now, bank.readyAt);
-    u32 latCycles;
     if (bank.open && bank.row == row) {
-        latCycles = cfg.tCas;
         ++counters.rowHits;
     } else if (!bank.open) {
-        latCycles = cfg.tRcd + cfg.tCas;
         ++counters.rowEmpty;
         ++counters.activations;
     } else {
-        latCycles = cfg.tRp + cfg.tRcd + cfg.tCas;
         ++counters.rowMisses;
         ++counters.activations;
     }
+    Tick dataEnd = chunkDone(bank, row, ch.busUntil, bytes, start);
     bank.open = true;
     bank.row = row;
-
-    Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
-    Tick dataStart = std::max(cmdDone, ch.busUntil);
-    // Double data rate: two beats of busBytes per clock.
-    Tick burst = burstClocks(bytes) * cfg.clockPs;
-    Tick dataEnd = dataStart + burst;
     ch.busUntil = dataEnd;
-    ch.busyAccum += burst;
+    ch.busyAccum += burstClocks(bytes) * cfg.clockPs;
     bank.readyAt = dataEnd;
+    if (dataEnd > lastTick)
+        lastTick = dataEnd;
 
     if (type == AccessType::Read) {
         ++counters.reads;
@@ -104,28 +114,79 @@ DramDevice::access(Addr addr, u32 bytes, AccessType type, Tick now)
 }
 
 Tick
-DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
+DramDevice::probeChunkDone(Addr addr, u32 bytes, Tick start) const
 {
-    // A const copy of the mutable path on a scratch device would be
-    // heavyweight; instead recompute the first chunk's latency.
     u32 chIdx;
     u64 bankIdx, row;
     decode(addr, chIdx, bankIdx, row);
     const Channel &ch = channels[chIdx];
     const Bank &bank = ch.banks[bankIdx];
-    Tick start = std::max(now, bank.readyAt);
-    u32 latCycles;
-    if (bank.open && bank.row == row)
-        latCycles = cfg.tCas;
-    else if (!bank.open)
-        latCycles = cfg.tRcd + cfg.tCas;
-    else
-        latCycles = cfg.tRp + cfg.tRcd + cfg.tCas;
-    Tick cmdDone = start + Tick(latCycles) * cfg.clockPs;
-    Tick dataStart = std::max(cmdDone, ch.busUntil);
-    Tick burst = burstClocks(std::min<u64>(bytes, cfg.interleaveBytes))
-        * cfg.clockPs;
-    return dataStart + burst - now;
+    return chunkDone(bank, row, ch.busUntil,
+                     bytes, std::max(start, bank.readyAt));
+}
+
+Tick
+DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
+{
+    // Const replay of access(): identical chunking, with the bank and
+    // bus state a real access would mutate kept in small local
+    // overlays so multi-chunk requests that revisit a channel or bank
+    // still agree with the mutable path. (The earlier first-chunk
+    // shortcut diverged from access() for requests starting inside an
+    // interleave block: it sized the first burst from the request
+    // length instead of the distance to the chunk boundary.)
+    struct BankPatch { u32 ch; u64 bank; Bank state; };
+    struct BusPatch { u32 ch; Tick busUntil; };
+    std::vector<BankPatch> bankPatches;
+    std::vector<BusPatch> busPatches;
+
+    Tick done = 0;
+    Addr cur = addr;
+    u64 remaining = bytes;
+    while (remaining > 0) {
+        u64 inChunk = cfg.interleaveBytes - (cur & geo.ilvMask);
+        u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
+
+        u32 chIdx;
+        u64 bankIdx, row;
+        decode(cur, chIdx, bankIdx, row);
+        Bank bank = channels[chIdx].banks[bankIdx];
+        for (const BankPatch &p : bankPatches)
+            if (p.ch == chIdx && p.bank == bankIdx)
+                bank = p.state;
+        Tick busUntil = channels[chIdx].busUntil;
+        for (const BusPatch &p : busPatches)
+            if (p.ch == chIdx)
+                busUntil = p.busUntil;
+
+        Tick start = std::max(now, bank.readyAt);
+        Tick dataEnd = chunkDone(bank, row, busUntil, take, start);
+        done = std::max(done, dataEnd);
+
+        bank.open = true;
+        bank.row = row;
+        bank.readyAt = dataEnd;
+        bool found = false;
+        for (BankPatch &p : bankPatches)
+            if (p.ch == chIdx && p.bank == bankIdx) {
+                p.state = bank;
+                found = true;
+            }
+        if (!found)
+            bankPatches.push_back({chIdx, bankIdx, bank});
+        found = false;
+        for (BusPatch &p : busPatches)
+            if (p.ch == chIdx) {
+                p.busUntil = dataEnd;
+                found = true;
+            }
+        if (!found)
+            busPatches.push_back({chIdx, dataEnd});
+
+        cur += take;
+        remaining -= take;
+    }
+    return done - now;
 }
 
 double
@@ -139,12 +200,12 @@ DramDevice::dynamicEnergyPj() const
 double
 DramDevice::busUtilization(Tick now) const
 {
-    if (now == 0)
+    if (now <= statsSince)
         return 0.0;
     Tick busy = 0;
     for (const auto &ch : channels)
         busy += ch.busyAccum;
-    return double(busy) / (double(now) * channels.size());
+    return double(busy) / (double(now - statsSince) * channels.size());
 }
 
 void
@@ -153,6 +214,10 @@ DramDevice::resetStats()
     counters = DramStats{};
     for (auto &ch : channels)
         ch.busyAccum = 0;
+    // The utilization window restarts with the busy accumulator: a
+    // warm-up reset must not divide post-warm-up busy time by a
+    // denominator that still spans warm-up.
+    statsSince = lastTick;
 }
 
 void
@@ -166,6 +231,7 @@ DramDevice::collectStats(StatSet &out, const std::string &prefix) const
     out.add(prefix + ".rowMisses", double(counters.rowMisses));
     out.add(prefix + ".activations", double(counters.activations));
     out.add(prefix + ".dynamicEnergyPj", dynamicEnergyPj());
+    out.add(prefix + ".busUtilization", busUtilization());
 }
 
 } // namespace h2::dram

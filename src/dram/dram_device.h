@@ -55,9 +55,63 @@ class DramDevice
      */
     Tick access(Addr addr, u32 bytes, AccessType type, Tick now);
 
-    /** Latency the device would add for a @p bytes access at @p now,
-     *  without mutating any state (used for what-if probes in tests). */
+    /**
+     * Latency the device would add for a @p bytes access at @p now,
+     * without mutating any state (used as the timing oracle in tests).
+     *
+     * Replays the exact chunking and bank/channel arithmetic of
+     * access() against a local overlay of the state the access would
+     * mutate, so probe == access-completion - now for any address and
+     * size, aligned or not.
+     *
+     * The probe sees only device state. With the queued controller
+     * (mem::MemController, queue=on) a subsequent access may first
+     * trigger a write-queue drain that pushes bank/bus availability
+     * past what the probe saw — the divergence is intentional: the
+     * probe answers "what would the *device* cost", not "what will the
+     * controller schedule". In queue=off mode the two are identical
+     * (pinned by a property test).
+     */
     Tick probeLatency(Addr addr, u32 bytes, Tick now) const;
+
+    /** Number of channels (chunk interleave targets). */
+    u32 channelCount() const { return static_cast<u32>(channels.size()); }
+
+    /** Data-bus occupancy horizon of channel @p ch. */
+    Tick
+    channelBusUntil(u32 ch) const
+    {
+        return channels.at(ch).busUntil;
+    }
+
+    /** Earliest tick bank @p bank of channel @p ch can accept a
+     *  command. */
+    Tick
+    bankReadyAt(u32 ch, u64 bank) const
+    {
+        return channels.at(ch).banks.at(bank).readyAt;
+    }
+
+    /** Would a chunk at @p addr hit the currently open row? (FR-FCFS
+     *  scheduling hint for mem::MemController.) */
+    bool
+    wouldRowHit(Addr addr) const
+    {
+        u32 ch;
+        u64 bank, row;
+        decode(addr, ch, bank, row);
+        const Bank &b = channels[ch].banks[bank];
+        return b.open && b.row == row;
+    }
+
+    /**
+     * Completion tick of a single interleave chunk (@p bytes must not
+     * cross an interleave boundary from @p addr) started at @p start,
+     * against current device state, without mutating it. Used by the
+     * controller to decide whether a queued write fits into an idle
+     * gap.
+     */
+    Tick probeChunkDone(Addr addr, u32 bytes, Tick start) const;
 
     /**
      * Resolve an address to channel index / bank / row.
@@ -97,8 +151,22 @@ class DramDevice
     /** Dynamic energy consumed so far, in picojoules. */
     double dynamicEnergyPj() const;
 
-    /** Fraction of data-bus time used in [0, now]. */
+    /**
+     * Fraction of data-bus time used in [statsSince, now], where
+     * statsSince is the tick of the last resetStats() (0 before any
+     * reset). The busy accumulator and the window start reset
+     * together, so a post-warm-up reset does not leave a cleared
+     * numerator over a denominator that still spans warm-up.
+     */
     double busUtilization(Tick now) const;
+
+    /** busUtilization over [statsSince, last activity seen] — the
+     *  window stats collection uses when no external clock is at
+     *  hand. */
+    double busUtilization() const { return busUtilization(lastTick); }
+
+    /** Tick stats have accumulated since (last resetStats, or 0). */
+    Tick statsSinceTick() const { return statsSince; }
 
     void resetStats();
 
@@ -148,10 +216,17 @@ class DramDevice
 
     Tick accessChunk(Addr addr, u32 bytes, AccessType type, Tick now);
 
+    /** Chunk completion given explicit bank/bus state (shared by the
+     *  mutable path's arithmetic and the const probes). */
+    Tick chunkDone(const Bank &bank, u64 row, Tick busUntil, u32 bytes,
+                   Tick start) const;
+
     DramParams cfg;
     Geometry geo;
     std::vector<Channel> channels;
     DramStats counters;
+    Tick statsSince = 0; ///< window start for busUtilization
+    Tick lastTick = 0;   ///< latest activity (chunk completion) seen
 };
 
 } // namespace h2::dram

@@ -65,6 +65,10 @@ void printUsage(std::FILE *out)
         "  --instr <n>          simulated instructions per core [1500000]\n"
         "  --warmup <n>         warmup instructions per core [0]\n"
         "  --seed <n>           trace-generation seed [42]\n"
+        "  --queue <on|off>     queued memory-controller model (FR-FCFS\n"
+        "                       write queues with drain watermarks); off\n"
+        "                       restores the analytic immediate-dispatch\n"
+        "                       model [on]\n"
         "  --jobs <n>           parallel simulations; 0 = all cores [1]\n"
         "  --speedup            also report speedup over the FM-only\n"
         "                       baseline\n"
@@ -188,6 +192,15 @@ int main(int argc, char **argv)
         } else if (arg == "--seed") {
             experiment.config.seed = parseU64("--seed", next("--seed"));
             configFlagSeen = true;
+        } else if (arg == "--queue") {
+            std::string v = next("--queue");
+            if (v == "on")
+                experiment.config.queue = true;
+            else if (v == "off")
+                experiment.config.queue = false;
+            else
+                usageError("--queue expects on|off, got '" + v + "'");
+            configFlagSeen = true;
         } else if (arg == "--jobs") {
             jobs = static_cast<u32>(parseU64("--jobs", next("--jobs")));
             jobsSet = true;
@@ -249,8 +262,8 @@ int main(int argc, char **argv)
         if (configFlagSeen)
             usageError("--experiment is mutually exclusive with the "
                        "config flags (--nm-mib, --fm-mib, --cores, "
-                       "--instr, --warmup, --seed); set them in the "
-                       "experiment file instead");
+                       "--instr, --warmup, --seed, --queue); set them "
+                       "in the experiment file instead");
         bool wantSpeedup = experiment.speedup;
         std::string err;
         auto fromFile = sim::ExperimentSpec::parseFile(experimentFile, &err);

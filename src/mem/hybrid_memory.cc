@@ -10,14 +10,17 @@ HybridMemory::HybridMemory(const MemSystemParams &params,
                            const dram::DramParams &fmParams)
     : sys(params),
       nm(std::make_unique<dram::DramDevice>(nmParams)),
-      fm(std::make_unique<dram::DramDevice>(fmParams))
+      fm(std::make_unique<dram::DramDevice>(fmParams)),
+      nmCtrl(std::make_unique<MemController>(*nm, params.queue)),
+      fmCtrl(std::make_unique<MemController>(*fm, params.queue))
 {
 }
 
 HybridMemory::HybridMemory(const MemSystemParams &params,
                            const dram::DramParams &fmParams)
     : sys(params), nm(nullptr),
-      fm(std::make_unique<dram::DramDevice>(fmParams))
+      fm(std::make_unique<dram::DramDevice>(fmParams)),
+      fmCtrl(std::make_unique<MemController>(*fm, params.queue))
 {
 }
 
@@ -33,6 +36,30 @@ HybridMemory::nmDevice() const
 {
     h2_assert(nm, name(), " has no near memory");
     return *nm;
+}
+
+MemController &
+HybridMemory::nmController()
+{
+    h2_assert(nmCtrl, name(), " has no near memory");
+    return *nmCtrl;
+}
+
+const MemController &
+HybridMemory::nmController() const
+{
+    h2_assert(nmCtrl, name(), " has no near memory");
+    return *nmCtrl;
+}
+
+void
+HybridMemory::drainQueues(Tick now)
+{
+    h2_assert(postedWrites.empty(),
+              "drainQueues with unflushed posted writes");
+    if (nmCtrl)
+        nmCtrl->drainAll(now);
+    fmCtrl->drainAll(now);
 }
 
 double
@@ -51,7 +78,7 @@ HybridMemory::nmMetaRegionAccess(AccessType type, u64 regionBytes,
     Addr addr = (splitmix64(rotor++) * 64) % regionBytes;
     addr &= ~Addr(63);
     if (type == AccessType::Read)
-        tl.serialize(nm->access(addr, 64, type, tl.now()));
+        tl.serialize(nmc().access(addr, 64, type, tl.now()));
     else
         postWrite(*nm, addr, 64, tl.now());
 }
@@ -99,6 +126,9 @@ HybridMemory::resetStats()
     fm->resetStats();
     if (nm)
         nm->resetStats();
+    fmCtrl->resetStats();
+    if (nmCtrl)
+        nmCtrl->resetStats();
 }
 
 void
@@ -113,9 +143,20 @@ HybridMemory::collectStats(StatSet &out) const
     out.add("mem.avgMissLatencyPs", avgMissLatencyPs());
     out.add("mem.avgWritebackLatencyPs", avgWritebackLatencyPs());
     out.add("mem.dynamicEnergyPj", dynamicEnergyPj());
+    // Demand-facing queueing wait across both controllers (ps per
+    // demand access; 0 with queues off or no demand traffic).
+    u64 demand = fmCtrl->demandAccesses()
+        + (nmCtrl ? nmCtrl->demandAccesses() : 0);
+    Tick delayTotal = fmCtrl->readQueueDelayPsTotal()
+        + (nmCtrl ? nmCtrl->readQueueDelayPsTotal() : 0);
+    out.add("mem.avgQueueDelayPs",
+            demand ? double(delayTotal) / double(demand) : 0.0);
     fm->collectStats(out, "fm");
     if (nm)
         nm->collectStats(out, "nm");
+    fmCtrl->collectStats(out, "fmq");
+    if (nmCtrl)
+        nmCtrl->collectStats(out, "nmq");
 }
 
 } // namespace h2::mem

@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/dram_device.h"
+#include "mem/mem_controller.h"
 #include "mem/timeline.h"
 
 namespace h2::mem {
@@ -47,6 +48,9 @@ struct MemSystemParams
     Tick corePeriodPs = 313;       ///< 3.2 GHz core clock (rounded to ps)
     /** Fixed controller/on-chip interconnect traversal per request. */
     Tick controllerLatencyPs = 3130; ///< ~10 core cycles
+    /** Memory-controller queueing model (queue.enabled = false
+     *  restores the pre-controller analytic dispatch). */
+    QueueParams queue;
 };
 
 /** Outcome of one 64 B request into the memory organization. */
@@ -109,6 +113,22 @@ class HybridMemory
     dram::DramDevice &fmDevice() { return *fm; }
     const dram::DramDevice &fmDevice() const { return *fm; }
 
+    /** Queued controllers in front of the devices (queue=off: pure
+     *  pass-through). */
+    MemController &nmController();
+    const MemController &nmController() const;
+    MemController &fmController() { return *fmCtrl; }
+    const MemController &fmController() const { return *fmCtrl; }
+
+    /**
+     * Dispatch every write still sitting in the controller queues
+     * (issued at @p now or the write's ready tick, whichever is
+     * later). The system calls this at the warm-up boundary (so
+     * warm-up traffic is charged before counters reset) and at the
+     * end of the run (so traffic/energy totals are complete).
+     */
+    void drainQueues(Tick now);
+
     u64 requests() const { return nRequests; }
     u64 requestsFromNm() const { return nFromNm; }
 
@@ -144,15 +164,21 @@ class HybridMemory
         postedWrites.push_back({&dev, addr, bytes, readyAt});
     }
 
-    /** Drain the write buffer (in post order); completions extend only
-     *  @p tl's trailing edge, never the critical path. Every access()
-     *  implementation calls this once before returning. */
+    /**
+     * Drain the write buffer (in post order) into the controller
+     * write queues; completions extend only @p tl's trailing edge,
+     * never the critical path. Every access() implementation calls
+     * this once before returning, after its serialized reads — so
+     * posted writes enter the queues (and can trigger a forced drain)
+     * only once the demand path has claimed its banks. With queues
+     * off the controller dispatches each write at its ready tick,
+     * which is exactly the pre-controller flush.
+     */
     void
     flushPostedWrites(Timeline &tl)
     {
         for (const PostedWrite &w : postedWrites)
-            tl.overlap(w.dev->access(w.addr, w.bytes, AccessType::Write,
-                                     w.readyAt));
+            tl.overlap(ctrlFor(*w.dev).post(w.addr, w.bytes, w.readyAt));
         postedWrites.clear();
     }
 
@@ -200,6 +226,12 @@ class HybridMemory
         }
     }
 
+    /** Controller shorthand for design access() code: all device
+     *  traffic goes through these so queued scheduling (and the
+     *  queue=off pass-through) applies uniformly. */
+    MemController &nmc() { return nmController(); }
+    MemController &fmc() { return *fmCtrl; }
+
     MemSystemParams sys;
     std::unique_ptr<dram::DramDevice> nm; ///< null for the FM-only design
     std::unique_ptr<dram::DramDevice> fm;
@@ -212,6 +244,19 @@ class HybridMemory
         u32 bytes;
         Tick readyAt;
     };
+
+    /** The controller owning @p dev (posted writes carry a device
+     *  pointer; route them into the matching queue). */
+    MemController &
+    ctrlFor(dram::DramDevice &dev)
+    {
+        if (nmCtrl && &dev == nm.get())
+            return *nmCtrl;
+        return *fmCtrl;
+    }
+
+    std::unique_ptr<MemController> nmCtrl; ///< null for FM-only
+    std::unique_ptr<MemController> fmCtrl;
 
     u64 nRequests = 0;
     u64 nFromNm = 0;

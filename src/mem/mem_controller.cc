@@ -1,0 +1,264 @@
+#include "mem/mem_controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace h2::mem {
+
+MemController::MemController(dram::DramDevice &device,
+                             const QueueParams &params)
+    : dev(device), cfg(params)
+{
+    h2_assert(cfg.writeLowWatermark < cfg.writeHighWatermark,
+              "write-drain watermarks must satisfy low < high (got low=",
+              cfg.writeLowWatermark, " high=", cfg.writeHighWatermark, ")");
+    u32 n = dev.channelCount();
+    writeQ.resize(n);
+    inflight.resize(n);
+    readDepth.reserve(n);
+    writeDepth.reserve(n);
+    for (u32 c = 0; c < n; ++c) {
+        readDepth.emplace_back(cfg.depthHistBuckets, 1.0);
+        writeDepth.emplace_back(cfg.depthHistBuckets, 1.0);
+    }
+}
+
+size_t
+MemController::pickFrFcfs(const std::vector<QueuedWrite> &q,
+                          bool &bypass) const
+{
+    size_t oldest = 0;
+    size_t oldestHit = q.size(); // sentinel: none
+    for (size_t i = 0; i < q.size(); ++i) {
+        if (q[i].seq < q[oldest].seq)
+            oldest = i;
+        if (dev.wouldRowHit(q[i].addr) &&
+            (oldestHit == q.size() || q[i].seq < q[oldestHit].seq))
+            oldestHit = i;
+    }
+    if (oldestHit != q.size() && oldestHit != oldest) {
+        bypass = true;
+        return oldestHit;
+    }
+    bypass = false;
+    return oldestHit != q.size() ? oldestHit : oldest;
+}
+
+Tick
+MemController::dispatchWrite(u32 ch, size_t idx, Tick issueTick)
+{
+    QueuedWrite w = writeQ[ch][idx];
+    writeQ[ch].erase(writeQ[ch].begin() + idx);
+    writeDelay.sample(
+        double(issueTick > w.readyAt ? issueTick - w.readyAt : 0));
+    Tick done = dev.access(w.addr, w.bytes, AccessType::Write, issueTick);
+    trackInflight(ch, done);
+    return done;
+}
+
+void
+MemController::idleDrain(u32 ch, Tick now)
+{
+    auto &q = writeQ[ch];
+    while (!q.empty()) {
+        bool bypass = false;
+        size_t idx = pickFrFcfs(q, bypass);
+        const QueuedWrite &w = q[idx];
+        Tick issueTick = std::min(w.readyAt, now);
+        // Dispatch only writes that fit entirely into the idle gap
+        // before `now`: the drain must never delay the demand access
+        // it runs in front of (read priority).
+        if (dev.probeChunkDone(w.addr, w.bytes, issueTick) > now)
+            break;
+        if (bypass)
+            ++nRowHitBypasses;
+        dispatchWrite(ch, idx, issueTick);
+    }
+}
+
+void
+MemController::forcedDrain(u32 ch, Tick now)
+{
+    ++nDrainEpisodes;
+    auto &q = writeQ[ch];
+    while (q.size() > cfg.writeLowWatermark) {
+        bool bypass = false;
+        size_t idx = pickFrFcfs(q, bypass);
+        if (bypass)
+            ++nRowHitBypasses;
+        dispatchWrite(ch, idx, now);
+    }
+}
+
+void
+MemController::trackInflight(u32 ch, Tick doneAt)
+{
+    inflight[ch].push_back(doneAt);
+}
+
+void
+MemController::sampleReadDepth(u32 ch, Tick now)
+{
+    auto &v = inflight[ch];
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [now](Tick t) { return t <= now; }),
+            v.end());
+    double depth = double(v.size());
+    readDepth[ch].sample(depth);
+    readDepthDist.sample(depth);
+}
+
+Tick
+MemController::access(Addr addr, u32 bytes, AccessType type, Tick now)
+{
+    if (!cfg.enabled)
+        return dev.access(addr, bytes, type, now);
+
+    // Walk the chunks the device will split this request into: sweep
+    // idle-gap writes on each touched channel, then measure the wait
+    // the request will serialize behind (bus + bank occupancy left by
+    // earlier traffic, including any forced write drains).
+    Tick queueDelay = 0;
+    Addr cur = addr;
+    u64 remaining = bytes;
+    const u32 ilv = dev.params().interleaveBytes;
+    while (remaining > 0) {
+        u64 inChunk = ilv - (cur % ilv);
+        u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
+        u32 ch;
+        u64 bank, row;
+        dev.decode(cur, ch, bank, row);
+        idleDrain(ch, now);
+        if (type == AccessType::Read)
+            sampleReadDepth(ch, now);
+        Tick waitUntil =
+            std::max(dev.channelBusUntil(ch), dev.bankReadyAt(ch, bank));
+        if (waitUntil > now)
+            queueDelay = std::max(queueDelay, waitUntil - now);
+        cur += take;
+        remaining -= take;
+    }
+    if (type == AccessType::Read) {
+        ++nReads;
+        readDelay.sample(double(queueDelay));
+    }
+
+    Tick done = dev.access(addr, bytes, type, now);
+
+    cur = addr;
+    remaining = bytes;
+    while (remaining > 0) {
+        u64 inChunk = ilv - (cur % ilv);
+        u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
+        u32 ch;
+        u64 bank, row;
+        dev.decode(cur, ch, bank, row);
+        trackInflight(ch, dev.channelBusUntil(ch));
+        cur += take;
+        remaining -= take;
+    }
+    return done;
+}
+
+Tick
+MemController::post(Addr addr, u32 bytes, Tick readyAt)
+{
+    if (!cfg.enabled) {
+        // Pre-controller behavior: the posted write dispatches the
+        // moment its data is ready; the device clamps to bank/bus
+        // availability.
+        return dev.access(addr, bytes, AccessType::Write, readyAt);
+    }
+    Addr cur = addr;
+    u64 remaining = bytes;
+    const u32 ilv = dev.params().interleaveBytes;
+    while (remaining > 0) {
+        u64 inChunk = ilv - (cur % ilv);
+        u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
+        u32 ch;
+        u64 bank, row;
+        dev.decode(cur, ch, bank, row);
+        auto &q = writeQ[ch];
+        double depth = double(q.size());
+        writeDepth[ch].sample(depth);
+        writeDepthDist.sample(depth);
+        q.push_back({cur, take, readyAt, nextSeq++});
+        if (q.size() >= cfg.writeHighWatermark)
+            forcedDrain(ch, readyAt);
+        cur += take;
+        remaining -= take;
+    }
+    return readyAt;
+}
+
+Tick
+MemController::drainAll(Tick now)
+{
+    Tick last = now;
+    for (u32 ch = 0; ch < writeQ.size(); ++ch) {
+        auto &q = writeQ[ch];
+        while (!q.empty()) {
+            bool bypass = false;
+            size_t idx = pickFrFcfs(q, bypass);
+            if (bypass)
+                ++nRowHitBypasses;
+            Tick issueTick = std::max(now, q[idx].readyAt);
+            last = std::max(last, dispatchWrite(ch, idx, issueTick));
+        }
+    }
+    return last;
+}
+
+u64
+MemController::queuedWrites() const
+{
+    u64 n = 0;
+    for (const auto &q : writeQ)
+        n += q.size();
+    return n;
+}
+
+const Histogram &
+MemController::writeDepthHist(u32 ch) const
+{
+    return writeDepth.at(ch);
+}
+
+const Histogram &
+MemController::readDepthHist(u32 ch) const
+{
+    return readDepth.at(ch);
+}
+
+void
+MemController::resetStats()
+{
+    nReads = 0;
+    nDrainEpisodes = 0;
+    nRowHitBypasses = 0;
+    readDelay.reset();
+    writeDelay.reset();
+    readDepthDist.reset();
+    writeDepthDist.reset();
+    for (auto &h : readDepth)
+        h.reset();
+    for (auto &h : writeDepth)
+        h.reset();
+}
+
+void
+MemController::collectStats(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".avgReadQueueDelayPs", avgReadQueueDelayPs());
+    out.add(prefix + ".avgWriteQueueDelayPs", avgWriteQueueDelayPs());
+    out.add(prefix + ".drainEpisodes", double(nDrainEpisodes));
+    out.add(prefix + ".rowHitBypasses", double(nRowHitBypasses));
+    out.add(prefix + ".queuedWrites", double(queuedWrites()));
+    out.add(prefix + ".readDepthMean", readDepthDist.mean());
+    out.add(prefix + ".readDepthMax", readDepthDist.max());
+    out.add(prefix + ".writeDepthMean", writeDepthDist.mean());
+    out.add(prefix + ".writeDepthMax", writeDepthDist.max());
+}
+
+} // namespace h2::mem

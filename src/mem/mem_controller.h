@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Queued memory controller in front of one DramDevice.
+ *
+ * The analytic DramDevice already models bank occupancy and bus
+ * contention (later work waits behind `busUntil`/`readyAt`), but until
+ * this layer existed every request was dispatched the moment the
+ * design issued it. The controller adds the scheduling decisions a
+ * real controller makes between arrival and dispatch:
+ *
+ *  - **Per-channel write queues.** Posted writes (structural traffic
+ *    whose data is already latched: evictions, migrations, metadata
+ *    updates, LLC writebacks routed through the posted-write buffer)
+ *    are enqueued, split at interleave-chunk granularity, instead of
+ *    being sent to the device at their ready tick. They never block
+ *    the requester; they only contend once dispatched.
+ *  - **FR-FCFS dispatch.** When a queue drains, the entry whose chunk
+ *    hits the currently open row is picked before older row-misses
+ *    (row-hit-first); ties fall back to arrival order.
+ *  - **Read priority with write-drain hysteresis.** Reads dispatch
+ *    immediately (demand traffic never queues behind writes that have
+ *    not been forced out). A channel whose write queue reaches
+ *    `writeHighWatermark` flips into drain mode and dispatches writes
+ *    — delaying subsequent reads via device contention — until the
+ *    queue falls to `writeLowWatermark` (one "drain episode").
+ *  - **Idle write drain (starvation bound).** Before a read
+ *    dispatches on a channel, queued writes whose service would
+ *    complete by the read's arrival tick are issued into the idle gap.
+ *    A queued write therefore issues no later than the first read that
+ *    finds the channel idle, the next high-watermark drain, or
+ *    drainAll() — it cannot be starved forever.
+ *
+ * `queue=off` (QueueParams::enabled = false) bypasses all of the
+ * above: access() forwards verbatim to DramDevice::access and posted
+ * writes dispatch at their ready tick, reproducing the pre-controller
+ * analytic behavior bit-identically (pinned by the golden-metrics
+ * noqueue suite).
+ *
+ * Stats (all zero-guarded for empty classes): average read queue
+ * delay (the serialized wait between arrival and service start that
+ * demand requests experience), average write queue residency,
+ * per-channel queue-depth histograms, drain episodes, and FR-FCFS
+ * row-hit bypass counts.
+ */
+
+#ifndef H2_MEM_MEM_CONTROLLER_H
+#define H2_MEM_MEM_CONTROLLER_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram_device.h"
+
+namespace h2::mem {
+
+/** Queueing knobs shared by the NM and FM controllers of a design. */
+struct QueueParams
+{
+    /** Off = forward straight to the device (PR-5 analytic model). */
+    bool enabled = true;
+    /** Per-channel write-queue depth that forces a drain episode. */
+    u32 writeHighWatermark = 32;
+    /** Depth a forced drain stops at. */
+    u32 writeLowWatermark = 8;
+    /** Queue-depth histogram resolution (entries per bucket). */
+    u32 depthHistBuckets = 64;
+};
+
+class MemController
+{
+  public:
+    MemController(dram::DramDevice &device, const QueueParams &params);
+
+    MemController(const MemController &) = delete;
+    MemController &operator=(const MemController &) = delete;
+
+    /**
+     * Dispatch an access the caller waits on (all reads, plus the few
+     * serialized writes designs put on the critical path). Reads
+     * first sweep queued writes that fit into the idle gap on the
+     * channels they touch, then dispatch; the wait between @p now and
+     * service start is recorded as read queue delay.
+     *
+     * @return completion tick of the last byte (same contract as
+     *         DramDevice::access).
+     */
+    Tick access(Addr addr, u32 bytes, AccessType type, Tick now);
+
+    /**
+     * Enqueue a posted write whose data is ready at @p readyAt. Never
+     * blocks the caller; may trigger a high-watermark drain episode
+     * on the channels it lands on (contending with later reads).
+     * With queues off, dispatches to the device at @p readyAt —
+     * exactly the pre-controller posted-write flush.
+     *
+     * @return the device completion tick when dispatched immediately
+     *         (queues off), else @p readyAt (completion unknown until
+     *         a drain dispatches the entry).
+     */
+    Tick post(Addr addr, u32 bytes, Tick readyAt);
+
+    /** Dispatch every queued write (end of run / warm-up boundary so
+     *  traffic and energy are fully accounted). @return completion of
+     *  the last write, or @p now when nothing was queued. */
+    Tick drainAll(Tick now);
+
+    /** Writes currently sitting in queues (all channels). */
+    u64 queuedWrites() const;
+
+    bool queueEnabled() const { return cfg.enabled; }
+
+    dram::DramDevice &device() { return dev; }
+    const dram::DramDevice &device() const { return dev; }
+
+    u64 demandAccesses() const { return nReads; }
+    u64 drainEpisodes() const { return nDrainEpisodes; }
+    u64 rowHitBypasses() const { return nRowHitBypasses; }
+
+    /** Mean serialized queueing wait (ps) of access() requests. */
+    double avgReadQueueDelayPs() const { return readDelay.mean(); }
+    /** Mean queue residency (ps) of posted writes, from enqueue to
+     *  device issue. Idle-gap drains issue retroactively into the gap
+     *  (at the write's ready tick), so uncontended writes record ~0;
+     *  forced drains issue at the drain decision tick. */
+    double avgWriteQueueDelayPs() const { return writeDelay.mean(); }
+
+    /** Write-queue depth-at-enqueue histogram of channel @p ch. */
+    const Histogram &writeDepthHist(u32 ch) const;
+    /** In-flight-requests-at-arrival histogram of channel @p ch (the
+     *  read-side "queue depth": dispatched chunks not yet complete
+     *  when a demand access arrives). */
+    const Histogram &readDepthHist(u32 ch) const;
+
+    void resetStats();
+
+    /** Counters under @p prefix (e.g. "nmq"): avgReadQueueDelayPs,
+     *  avgWriteQueueDelayPs, queuedWrites, drainEpisodes,
+     *  rowHitBypasses, writeQueueDepthMean/P99. */
+    void collectStats(StatSet &out, const std::string &prefix) const;
+
+    /** Sum of read queue delays (ps), for cross-controller means. */
+    Tick readQueueDelayPsTotal() const
+    {
+        return Tick(readDelay.sum());
+    }
+
+  private:
+    struct QueuedWrite
+    {
+        Addr addr;     ///< chunk address (never crosses interleave)
+        u32 bytes;
+        Tick readyAt;  ///< when the data was latched (enqueue tick)
+        u64 seq;       ///< global arrival order, FCFS tie-break
+    };
+
+    /** FR-FCFS pick from non-empty @p q: oldest row-hit if any, else
+     *  oldest. @p bypass reports whether the pick skipped an older
+     *  row-miss (counted only if the caller dispatches it). */
+    size_t pickFrFcfs(const std::vector<QueuedWrite> &q,
+                      bool &bypass) const;
+
+    /** Dispatch queue entry @p idx of channel @p ch into the device
+     *  at @p issueTick; returns the completion tick. Queue residency
+     *  is charged as issueTick - readyAt. */
+    Tick dispatchWrite(u32 ch, size_t idx, Tick issueTick);
+
+    /** Issue queued writes of @p ch that complete by @p now into the
+     *  idle gap in front of a demand access. */
+    void idleDrain(u32 ch, Tick now);
+
+    /** Forced drain of @p ch down to the low watermark, issuing at
+     *  decision tick @p now. */
+    void forcedDrain(u32 ch, Tick now);
+
+    /** Record the in-flight depth channel @p ch shows at @p now and
+     *  drop completed entries. */
+    void sampleReadDepth(u32 ch, Tick now);
+
+    /** Track a dispatched chunk completing at @p doneAt on @p ch. */
+    void trackInflight(u32 ch, Tick doneAt);
+
+    dram::DramDevice &dev;
+    QueueParams cfg;
+    std::vector<std::vector<QueuedWrite>> writeQ; ///< per channel
+    std::vector<std::vector<Tick>> inflight; ///< chunk completions
+    u64 nextSeq = 0;
+
+    u64 nReads = 0;
+    u64 nDrainEpisodes = 0;
+    u64 nRowHitBypasses = 0;
+    Distribution readDelay;
+    Distribution writeDelay;
+    Distribution readDepthDist;
+    Distribution writeDepthDist;
+    std::vector<Histogram> readDepth;  ///< per channel, at arrival
+    std::vector<Histogram> writeDepth; ///< per channel, at enqueue
+};
+
+} // namespace h2::mem
+
+#endif // H2_MEM_MEM_CONTROLLER_H

@@ -132,6 +132,13 @@ ExperimentSpec::parse(std::string_view text, std::string *error)
                 return fail(lineNo, detail::concat(
                                         "bad value for seed: '", value,
                                         "' (expected a decimal integer)"));
+        } else if (key == "queue") {
+            auto b = parseBool(value);
+            if (!b)
+                return fail(lineNo,
+                            detail::concat("bad value for queue: '",
+                                           value, "' (expected on|off)"));
+            spec.config.queue = *b;
         } else if (key == "jobs") {
             u64 v = 0;
             if (!tryParseU64(value, v) || v > ~u32(0))

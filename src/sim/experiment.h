@@ -17,6 +17,8 @@
  *   instr    1500000
  *   warmup   0
  *   seed     42
+ *   queue    on          # queued memory-controller model (off =
+ *                        # pre-queue analytic dispatch)
  *   jobs     4           # parallel simulations (0 = all cores)
  *   speedup  on          # also report speedup over the baseline
  *   format   json        # default output format (CLI --format wins)

@@ -71,6 +71,7 @@ makeSystemConfig(const RunConfig &cfg)
     sc.instrPerCore = cfg.instrPerCore;
     sc.warmupInstrPerCore = cfg.warmupInstrPerCore;
     sc.seed = cfg.seed;
+    sc.mem.queue.enabled = cfg.queue;
     return sc;
 }
 

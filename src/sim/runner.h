@@ -44,6 +44,10 @@ struct RunConfig
     u64 warmupInstrPerCore = 0;
     u32 numCores = 8;
     u64 seed = 42;
+    /** Queued memory-controller model (mem/mem_controller.h). Off
+     *  restores the pre-queue analytic dispatch, for A/B runs and the
+     *  noqueue golden suite. */
+    bool queue = true;
 };
 
 /**

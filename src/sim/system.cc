@@ -58,16 +58,26 @@ void
 System::run()
 {
     h2_assert(!ran, "System::run called twice");
+    auto latestNow = [&] {
+        Tick t = 0;
+        for (const auto &core : cores)
+            t = std::max(t, core->now());
+        return t;
+    };
     if (cfg.warmupInstrPerCore > 0) {
         runUntil(cfg.warmupInstrPerCore);
         for (auto &core : cores)
             core->beginMeasurement();
+        // Warm-up writes still queued in the controllers belong to
+        // warm-up traffic: dispatch them before counters reset.
+        mem->drainQueues(latestNow());
         hier->resetStats();
         mem->resetStats();
     }
     runUntil(cfg.warmupInstrPerCore + cfg.instrPerCore);
     for (auto &core : cores)
         core->drain();
+    mem->drainQueues(latestNow());
     mem->checkInvariants();
     ran = true;
 }

@@ -179,6 +179,11 @@ mixWorkload(std::vector<Workload> parts, u32 leadWeight)
         // High < Medium < Low: the most memory-intensive component
         // classes the mix.
         m.cls = std::min(m.cls, p.cls);
+        // A part that never touches memory would make instrSum
+        // non-finite and poison every derived intensity stat with
+        // NaN; reject it here rather than emitting garbage metrics.
+        h2_assert(p.memRatio > 0.0, "mix component '", p.name,
+                  "' has zero memory intensity (memRatio)");
         weightSum += weight;
         instrSum += weight / p.memRatio;
         writeSum += weight * p.writeFrac;

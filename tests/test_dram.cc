@@ -206,5 +206,79 @@ TEST(DramDevice, HbmFasterThanDdr4ForSameAccess)
     EXPECT_LT(thbm, tddr);
 }
 
+TEST(DramDevice, BusUtilizationWindowFollowsResetStats)
+{
+    // Regression: resetStats used to clear the busy accumulator but
+    // leave the utilization denominator spanning from tick 0, so any
+    // post-warm-up utilization was silently diluted by the warm-up
+    // window. The window start must move to the reset point.
+    DramDevice dev(DramParams::ddr4_3200(256 * MiB));
+    const Tick window = 10000000;
+
+    Tick done = 0;
+    for (int i = 0; i < 64; ++i)
+        done = dev.access(Addr(i) * 64, 64, AccessType::Read, 0);
+    ASSERT_LT(done, window);
+    double before = dev.busUtilization(window);
+    ASSERT_GT(before, 0.0);
+
+    dev.resetStats();
+    EXPECT_EQ(dev.statsSinceTick(), done);
+    // Nothing has run inside the new window: exactly zero, not a
+    // cleared numerator over the old denominator.
+    EXPECT_DOUBLE_EQ(dev.busUtilization(window), 0.0);
+
+    // The same burst replayed inside the new window must report the
+    // same utilization as the original run did over its own window —
+    // the pre-fix code halved it (busy / [0, 2*window]).
+    for (int i = 0; i < 64; ++i)
+        dev.access(Addr(i) * 64, 64, AccessType::Read, window);
+    EXPECT_NEAR(dev.busUtilization(done + window), before, 1e-12);
+}
+
+TEST(DramDevice, BusUtilizationDegenerateWindowIsZero)
+{
+    DramDevice dev(DramParams::ddr4_3200(256 * MiB));
+    EXPECT_DOUBLE_EQ(dev.busUtilization(0), 0.0);
+    Tick done = dev.access(0, 64, AccessType::Read, 0);
+    dev.resetStats();
+    // now == window start (and anything earlier) has no width to be
+    // busy in.
+    EXPECT_DOUBLE_EQ(dev.busUtilization(done), 0.0);
+    EXPECT_DOUBLE_EQ(dev.busUtilization(0), 0.0);
+}
+
+TEST(DramDevice, ProbeEqualsAccessForUnalignedMultiChunk)
+{
+    // Satellite regression: probeLatency must replay access() exactly
+    // for *any* address and size — including accesses that start
+    // mid-chunk and span several channels — not just aligned
+    // single-chunk requests (test_hotpath_arith pins those). The
+    // pre-fix probe approximated multi-chunk requests and drifted.
+    for (const char *preset : {"hbm2", "ddr4"}) {
+        auto p = std::string(preset) == "hbm2"
+            ? DramParams::hbm2(256 * MiB)
+            : DramParams::ddr4_3200(256 * MiB);
+        DramDevice dev(p);
+        u64 state = 99;
+        Tick now = 0;
+        for (int i = 0; i < 1500; ++i) {
+            state = state * 6364136223846793005ull
+                + 1442695040888963407ull;
+            now += (state >> 33) % 4000;
+            // Unaligned start, 1..~4 interleave chunks.
+            Addr addr = (state >> 16) % (255 * MiB);
+            u32 bytes = 1 + u32((state >> 7) % (p.interleaveBytes * 4));
+            AccessType t = (state & 1) ? AccessType::Read
+                                       : AccessType::Write;
+            Tick predicted = dev.probeLatency(addr, bytes, now);
+            Tick done = dev.access(addr, bytes, t, now);
+            ASSERT_EQ(now + predicted, done)
+                << preset << " access " << i << " addr " << addr
+                << " bytes " << bytes;
+        }
+    }
+}
+
 } // namespace
 } // namespace h2::dram

@@ -58,13 +58,17 @@ updateRequested()
 }
 
 std::string
-goldenPath(const std::string &design, const std::string &workload)
+goldenPath(const std::string &design, const std::string &workload,
+           bool queue)
 {
     std::string file = design + "_" + workload + ".json";
     for (char &c : file)
         if (c == ':' || c == '+' || c == '/')
             c = '-';
-    return std::string(H2_GOLDEN_DIR) + "/" + file;
+    std::string dir = std::string(H2_GOLDEN_DIR);
+    if (!queue)
+        dir += "/noqueue";
+    return dir + "/" + file;
 }
 
 /** True when both tokens are spelled as floating point ("." or exponent)
@@ -129,13 +133,15 @@ compareJson(const std::string &want, const std::string &got)
 }
 
 void
-checkGolden(const std::string &design, const std::string &workloadSpec)
+checkGolden(const std::string &design, const std::string &workloadSpec,
+            bool queue = true)
 {
+    sim::RunConfig cfg = goldenConfig();
+    cfg.queue = queue;
     sim::Metrics m = sim::simulateOne(
-        goldenConfig(), workloads::resolveWorkloadOrFatal(workloadSpec),
-        design);
+        cfg, workloads::resolveWorkloadOrFatal(workloadSpec), design);
     std::string got = m.toJson();
-    std::string path = goldenPath(design, workloadSpec);
+    std::string path = goldenPath(design, workloadSpec, queue);
 
     if (updateRequested()) {
         std::ofstream out(path);
@@ -179,6 +185,29 @@ TEST(GoldenMetrics, Hybrid2Xalanc) { checkGolden("hybrid2", "xalanc"); }
 TEST(GoldenMetrics, Hybrid2Mix)
 {
     checkGolden("hybrid2", "mix:mcf+xalanc:2");
+}
+
+// queue=off legs: pin the pre-queue analytic dispatch model so the
+// `queue off` escape hatch stays bit-compatible with the metrics the
+// earlier analytic-only simulator produced. One leg per structural
+// memory organization is enough — the controller passthrough is
+// design-agnostic.
+
+TEST(GoldenMetricsNoQueue, BaselineLbm)
+{
+    checkGolden("baseline", "lbm", /*queue=*/false);
+}
+TEST(GoldenMetricsNoQueue, DfcMcf)
+{
+    checkGolden("dfc", "mcf", /*queue=*/false);
+}
+TEST(GoldenMetricsNoQueue, Hybrid2Lbm)
+{
+    checkGolden("hybrid2", "lbm", /*queue=*/false);
+}
+TEST(GoldenMetricsNoQueue, Hybrid2Mix)
+{
+    checkGolden("hybrid2", "mix:mcf+xalanc:2", /*queue=*/false);
 }
 
 } // namespace

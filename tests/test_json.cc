@@ -62,6 +62,16 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull)
     EXPECT_EQ(w.str(), "[null,null,1.5]");
 }
 
+TEST(JsonWriter, FormatDoubleNonFiniteRendersZero)
+{
+    // formatDouble feeds the CSV renderer directly (no null escape
+    // hatch there): to_chars' "nan"/"inf" spellings must never reach a
+    // report.
+    EXPECT_EQ(JsonWriter::formatDouble(std::nan("")), "0");
+    EXPECT_EQ(JsonWriter::formatDouble(INFINITY), "0");
+    EXPECT_EQ(JsonWriter::formatDouble(-INFINITY), "0");
+}
+
 TEST(JsonWriter, DoubleRoundTrip)
 {
     // Shortest-representation formatting survives a parse round trip.

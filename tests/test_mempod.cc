@@ -16,6 +16,10 @@ mem::MemSystemParams
 smallSys()
 {
     mem::MemSystemParams p;
+    // These suites white-box the designs against the analytic
+    // immediate-dispatch device model; the queued controller has its
+    // own suite (test_mem_controller) and the queue=on goldens.
+    p.queue.enabled = false;
     p.nmBytes = 8 * MiB;
     p.fmBytes = 64 * MiB;
     return p;
