@@ -1,0 +1,70 @@
+#include "common/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/log.h"
+
+namespace h2 {
+
+namespace detail {
+bool crashBeforeRenameForTest = false;
+} // namespace detail
+
+std::string
+writeFileAtomic(const std::string &path, std::string_view contents)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return detail::concat("cannot write '", tmp, "': ",
+                              std::strerror(errno));
+
+    auto failWith = [&](const char *what) {
+        std::string why = detail::concat(what, " '", tmp, "': ",
+                                         std::strerror(errno));
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return why;
+    };
+
+    if (!contents.empty() &&
+        std::fwrite(contents.data(), 1, contents.size(), f) !=
+            contents.size())
+        return failWith("error writing");
+    if (std::fflush(f) != 0)
+        return failWith("error flushing");
+#ifndef _WIN32
+    // Make the payload durable before it becomes visible under the
+    // final name; without this a crash after the rename could still
+    // publish an empty/partial file on some filesystems.
+    if (fsync(fileno(f)) != 0)
+        return failWith("error syncing");
+#endif
+    if (std::fclose(f) != 0) {
+        std::string why = detail::concat("error closing '", tmp, "': ",
+                                         std::strerror(errno));
+        std::remove(tmp.c_str());
+        return why;
+    }
+
+    if (detail::crashBeforeRenameForTest)
+        std::abort(); // the final path must remain untouched
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::string why = detail::concat("cannot rename '", tmp,
+                                         "' to '", path, "': ",
+                                         std::strerror(errno));
+        std::remove(tmp.c_str());
+        return why;
+    }
+    return {};
+}
+
+} // namespace h2

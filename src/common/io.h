@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Crash-safe file publication shared by every artifact writer
+ * (reports, trace dumps, bench JSON).
+ *
+ * writeFileAtomic writes the payload to "<path>.tmp", flushes and
+ * fsyncs it, then rename()s over the final path — so a reader can only
+ * ever observe the old file or the complete new one, never a truncated
+ * artifact that still parses as valid JSON/CSV/trace.
+ */
+
+#ifndef H2_COMMON_IO_H
+#define H2_COMMON_IO_H
+
+#include <string>
+#include <string_view>
+
+namespace h2 {
+
+/**
+ * Atomically replace @p path with @p contents via write-temp-then-
+ * rename. Returns "" on success, otherwise an actionable error message
+ * (the temp file is cleaned up on failure).
+ */
+std::string writeFileAtomic(const std::string &path,
+                            std::string_view contents);
+
+namespace detail {
+
+/** Test hook: abort() after the temp file is durable but before the
+ *  rename, emulating a crash mid-publish (tests assert the final path
+ *  is untouched). */
+extern bool crashBeforeRenameForTest;
+
+} // namespace detail
+} // namespace h2
+
+#endif // H2_COMMON_IO_H

@@ -204,4 +204,361 @@ JsonWriter::str() const
     return out;
 }
 
+double
+JsonValue::asDouble() const
+{
+    h2_assert(type == Type::Number, "asDouble on a non-number");
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(scalar.data(),
+                                     scalar.data() + scalar.size(), v);
+    h2_assert(ec == std::errc{} && ptr == scalar.data() + scalar.size(),
+              "unparseable number token '", scalar, "'");
+    return v;
+}
+
+u64
+JsonValue::asU64() const
+{
+    h2_assert(type == Type::Number, "asU64 on a non-number");
+    u64 v = 0;
+    auto [ptr, ec] = std::from_chars(scalar.data(),
+                                     scalar.data() + scalar.size(), v);
+    if (ec == std::errc{} && ptr == scalar.data() + scalar.size())
+        return v;
+    double d = asDouble();
+    return d <= 0.0 ? 0 : static_cast<u64>(d);
+}
+
+bool
+JsonValue::asBool() const
+{
+    h2_assert(type == Type::Bool, "asBool on a non-bool");
+    return boolean;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    h2_assert(type == Type::String, "asString on a non-string");
+    return scalar;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent parser over the exact grammar JsonWriter emits
+ *  (standard JSON; no extensions). Depth-limited so a hostile journal
+ *  line cannot overflow the stack. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text)
+        : in(text)
+    {
+    }
+
+    std::optional<JsonValue>
+    document(std::string *error)
+    {
+        JsonValue v;
+        if (!value(v))
+            return failOut(error);
+        skipWs();
+        if (pos != in.size()) {
+            err = "trailing garbage after the document";
+            return failOut(error);
+        }
+        return v;
+    }
+
+  private:
+    static constexpr u32 kMaxDepth = 64;
+
+    std::optional<JsonValue>
+    failOut(std::string *error) const
+    {
+        if (error)
+            *error = detail::concat("JSON parse error at byte ", pos,
+                                    ": ", err);
+        return std::nullopt;
+    }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err.empty())
+            err = why;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < in.size() &&
+               (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                in[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < in.size() && in[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (in.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (++depth > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        skipWs();
+        bool ok;
+        if (pos >= in.size()) {
+            ok = fail("unexpected end of input");
+        } else if (in[pos] == '{') {
+            ok = object(out);
+        } else if (in[pos] == '[') {
+            ok = array(out);
+        } else if (in[pos] == '"') {
+            out.type = JsonValue::Type::String;
+            ok = string(out.scalar);
+        } else if (literal("true")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            ok = true;
+        } else if (literal("false")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            ok = true;
+        } else if (literal("null")) {
+            out.type = JsonValue::Type::Null;
+            ok = true;
+        } else {
+            ok = number(out);
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (pos >= in.size() || in[pos] != '"')
+                return fail("expected an object key");
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after an object key");
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in an object");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue item;
+            if (!value(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in an array");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos; // opening quote
+        while (pos < in.size()) {
+            unsigned char c = in[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (!escapeSequence(out))
+                    return false;
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control character inside a string");
+            out += char(c);
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    escapeSequence(std::string &out)
+    {
+        ++pos; // backslash
+        if (pos >= in.size())
+            return fail("unterminated escape");
+        char c = in[pos++];
+        switch (c) {
+        case '"': out += '"'; return true;
+        case '\\': out += '\\'; return true;
+        case '/': out += '/'; return true;
+        case 'b': out += '\b'; return true;
+        case 'f': out += '\f'; return true;
+        case 'n': out += '\n'; return true;
+        case 'r': out += '\r'; return true;
+        case 't': out += '\t'; return true;
+        case 'u': return unicodeEscape(out);
+        default: return fail("unknown escape sequence");
+        }
+    }
+
+    bool
+    hex4(u32 &out)
+    {
+        if (pos + 4 > in.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = in[pos++];
+            u32 digit;
+            if (c >= '0' && c <= '9')
+                digit = u32(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = u32(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = u32(c - 'A') + 10;
+            else
+                return fail("bad hex digit in \\u escape");
+            out = out << 4 | digit;
+        }
+        return true;
+    }
+
+    bool
+    unicodeEscape(std::string &out)
+    {
+        u32 cp;
+        if (!hex4(cp))
+            return false;
+        // Surrogate pair: a high surrogate must be followed by \uDC00-
+        // \uDFFF; combine into one code point.
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos + 2 > in.size() || in[pos] != '\\' ||
+                in[pos + 1] != 'u')
+                return fail("unpaired high surrogate");
+            pos += 2;
+            u32 lo;
+            if (!hex4(lo))
+                return false;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+                return fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+        }
+        // UTF-8 encode.
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xC0 | cp >> 6);
+            out += char(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += char(0xE0 | cp >> 12);
+            out += char(0x80 | (cp >> 6 & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        } else {
+            out += char(0xF0 | cp >> 18);
+            out += char(0x80 | (cp >> 12 & 0x3F));
+            out += char(0x80 | (cp >> 6 & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        }
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        size_t start = pos;
+        consume('-');
+        while (pos < in.size() &&
+               ((in[pos] >= '0' && in[pos] <= '9') || in[pos] == '.' ||
+                in[pos] == 'e' || in[pos] == 'E' || in[pos] == '+' ||
+                in[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        std::string token(in.substr(start, pos - start));
+        // Validate the token shape by reparsing it as a double.
+        double d = 0.0;
+        auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), d);
+        if (ec != std::errc{} || ptr != token.data() + token.size())
+            return fail(detail::concat("bad number token '", token, "'"));
+        out.type = JsonValue::Type::Number;
+        out.scalar = std::move(token);
+        return true;
+    }
+
+    std::string_view in;
+    size_t pos = 0;
+    u32 depth = 0;
+    std::string err;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return JsonParser(text).document(error);
+}
+
 } // namespace h2

@@ -18,8 +18,10 @@
 #ifndef H2_COMMON_JSON_H
 #define H2_COMMON_JSON_H
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -89,6 +91,51 @@ class JsonWriter
     std::string out;
     std::vector<Scope> stack;
 };
+
+/**
+ * A parsed JSON document node (the read half of the writer above; the
+ * result journal's resume path rebuilds Metrics through it).
+ *
+ * Numbers keep their raw token so u64 counters round-trip at full
+ * 64-bit precision (doubles were rendered shortest-round-trip by
+ * formatDouble, so asDouble() reparses bit-identically). Object member
+ * order is preserved.
+ */
+struct JsonValue
+{
+    enum class Type : u8 { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    /** String: the decoded text. Number: the raw token. */
+    std::string scalar;
+    std::vector<JsonValue> items; ///< array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< object
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Number as double (panics on non-numbers). */
+    double asDouble() const;
+    /** Number as u64 at full precision; a fractional/scientific token
+     *  falls back to truncating its double value. */
+    u64 asU64() const;
+    bool asBool() const;
+    const std::string &asString() const;
+
+    /** First member named @p key (objects); nullptr when absent. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/** Parse one JSON document (surrounding whitespace allowed, trailing
+ *  garbage rejected). Returns nullopt and sets @p error (with a byte
+ *  offset) on malformed input. */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error);
 
 } // namespace h2
 

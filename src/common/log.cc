@@ -10,7 +10,27 @@ namespace h2 {
 namespace {
 // Atomic: sweep workers may warn while the main thread configures.
 std::atomic<bool> quietFlag{false};
+
+// Per-thread capture nesting depth; fatalImpl consults it so a worker
+// capture never leaks into other threads.
+thread_local int fatalCaptureDepth = 0;
 } // namespace
+
+ScopedFatalCapture::ScopedFatalCapture()
+{
+    ++fatalCaptureDepth;
+}
+
+ScopedFatalCapture::~ScopedFatalCapture()
+{
+    --fatalCaptureDepth;
+}
+
+bool
+ScopedFatalCapture::active()
+{
+    return fatalCaptureDepth > 0;
+}
 
 void
 setLogQuiet(bool quiet)
@@ -36,6 +56,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalCaptureDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

@@ -3,7 +3,11 @@
  * Status/error reporting in the gem5 spirit.
  *
  * panic()  - an internal simulator invariant broke (a bug); aborts.
- * fatal()  - the user asked for something impossible (bad config); exits.
+ * fatal()  - the user asked for something impossible (bad config); exits
+ *            the process, unless a ScopedFatalCapture is active on the
+ *            calling thread, in which case it throws FatalError so the
+ *            caller can contain the failure (the sweep engine wraps
+ *            every simulation in one).
  * warn()   - something is approximated; simulation continues.
  * inform() - plain status output.
  */
@@ -12,9 +16,40 @@
 #define H2_COMMON_LOG_H
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace h2 {
+
+/** An h2_fatal captured as an exception (see ScopedFatalCapture). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * RAII seam that makes h2_fatal recoverable on the current thread:
+ * while at least one capture is alive, fatalImpl throws FatalError
+ * instead of printing and exiting. Nestable. Thread-local, so a sweep
+ * worker capturing a bad per-point config never changes the CLI-level
+ * report-and-exit behavior of the main thread (or of other workers).
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+
+    /** True iff a capture is active on the calling thread. */
+    static bool active();
+};
 
 namespace detail {
 

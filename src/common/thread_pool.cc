@@ -61,7 +61,20 @@ ThreadPool::workerLoop()
         queue.pop_front();
         ++active;
         lock.unlock();
-        task();
+        // A throwing job must not std::terminate the worker (which
+        // would take the whole process down mid-sweep) nor wedge
+        // drain(): contain it here and keep serving the queue.
+        try {
+            task();
+        } catch (const std::exception &e) {
+            escaped.fetch_add(1, std::memory_order_relaxed);
+            h2_warn("thread-pool job threw: ", e.what(),
+                    " (captured; pool continues)");
+        } catch (...) {
+            escaped.fetch_add(1, std::memory_order_relaxed);
+            h2_warn("thread-pool job threw a non-standard exception "
+                    "(captured; pool continues)");
+        }
         lock.lock();
         --active;
         if (queue.empty() && active == 0)

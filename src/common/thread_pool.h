@@ -6,11 +6,17 @@
  * parallel. Tasks are opaque callables; ordering guarantees are the
  * caller's responsibility (the sweep runner keys results by name, so
  * completion order never matters).
+ *
+ * A job that throws does not take the process down: the worker catches
+ * the exception, warns, counts it (caughtExceptions), and keeps
+ * serving the queue — jobs that care about their failures must catch
+ * them and record an outcome themselves (the sweep runner does).
  */
 
 #ifndef H2_COMMON_THREAD_POOL_H
 #define H2_COMMON_THREAD_POOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -42,6 +48,13 @@ class ThreadPool
 
     u32 size() const { return static_cast<u32>(workers.size()); }
 
+    /** Jobs whose exceptions escaped into the worker loop (each one a
+     *  bug in the submitting code, but never fatal to the pool). */
+    u64 caughtExceptions() const
+    {
+        return escaped.load(std::memory_order_relaxed);
+    }
+
     /** Hardware concurrency, clamped to at least 1. */
     static u32 defaultConcurrency();
 
@@ -55,6 +68,7 @@ class ThreadPool
     std::condition_variable idleCv; ///< queue empty and workers idle
     u32 active = 0;
     bool stopping = false;
+    std::atomic<u64> escaped{0};
 };
 
 } // namespace h2

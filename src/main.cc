@@ -14,9 +14,20 @@
  * can never drift from what the parser accepts. Results render as
  * text, JSON or CSV (--format) to stdout or a file (--out).
  *
- * Exit codes: 0 success, 2 usage/configuration errors (bad flag, bad
- * design spec, invalid RunConfig, bad experiment file), 1 internal
- * failures.
+ * Sweeps are fault tolerant: a failing point (bad spec deep in a
+ * grid, unreadable trace, injected fault, watchdog timeout) is
+ * recorded in the report instead of killing the run, --journal makes
+ * every completed point durable as it finishes, and --resume skips
+ * journaled points after a crash. Ctrl-C flushes the journal and the
+ * partial report before exiting.
+ *
+ * Exit codes:
+ *   0    every sweep point succeeded
+ *   1    internal failures
+ *   2    usage/configuration errors (bad flag, bad design spec,
+ *        invalid RunConfig, bad experiment file, unusable journal)
+ *   3    the sweep completed but at least one point failed
+ *   130  interrupted (SIGINT); journal and partial report were written
  */
 
 #include <cstdio>
@@ -26,9 +37,12 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/parse.h"
 #include "sim/design_registry.h"
 #include "sim/experiment.h"
+#include "sim/fault_plan.h"
+#include "sim/interrupt.h"
 #include "sim/report.h"
 #include "workloads/trace_file.h"
 #include "workloads/workload_registry.h"
@@ -72,6 +86,19 @@ void printUsage(std::FILE *out)
         "  --jobs <n>           parallel simulations; 0 = all cores [1]\n"
         "  --speedup            also report speedup over the FM-only\n"
         "                       baseline\n"
+        "  --run-timeout <ms>   per-run wall-clock watchdog; a run past\n"
+        "                       the deadline fails its sweep point [0=off]\n"
+        "  --retries <n>        re-run a failed sweep point up to <n>\n"
+        "                       times [0]\n"
+        "  --journal <path>     append each completed sweep point to\n"
+        "                       <path> (JSONL, fsync'd per record) so a\n"
+        "                       crash loses at most the points in flight\n"
+        "  --resume             with --journal: skip points already in\n"
+        "                       the journal and simulate only the rest\n"
+        "  --inject <plan>      deterministic fault injection for testing\n"
+        "                       recovery paths: comma-separated\n"
+        "                       fail=<key>, timeout=<key>, flaky=<key>:<n>\n"
+        "                       with <key> = \"workload|design\"\n"
         "  --list-workloads     list registered workloads and exit\n"
         "  --list-designs       list registered designs (with their\n"
         "                       parameter schemas) and exit\n"
@@ -206,6 +233,25 @@ int main(int argc, char **argv)
             jobsSet = true;
         } else if (arg == "--speedup") {
             experiment.speedup = true;
+        } else if (arg == "--run-timeout") {
+            experiment.config.runTimeoutMs =
+                parseU64("--run-timeout", next("--run-timeout"));
+            configFlagSeen = true;
+        } else if (arg == "--retries") {
+            experiment.config.retries = static_cast<u32>(
+                parseU64("--retries", next("--retries")));
+            configFlagSeen = true;
+        } else if (arg == "--journal") {
+            experiment.journalPath = next("--journal");
+        } else if (arg == "--resume") {
+            experiment.resume = true;
+        } else if (arg == "--inject") {
+            const char *plan = next("--inject");
+            std::string err;
+            auto parsed = sim::FaultPlan::parse(plan, &err);
+            if (!parsed)
+                usageError(err);
+            experiment.faults = *std::move(parsed);
         } else {
             std::fprintf(stderr, "h2sim: unknown option '%s'\n\n",
                          arg.c_str());
@@ -262,15 +308,24 @@ int main(int argc, char **argv)
         if (configFlagSeen)
             usageError("--experiment is mutually exclusive with the "
                        "config flags (--nm-mib, --fm-mib, --cores, "
-                       "--instr, --warmup, --seed, --queue); set them "
-                       "in the experiment file instead");
+                       "--instr, --warmup, --seed, --queue, "
+                       "--run-timeout, --retries); set them in the "
+                       "experiment file instead");
+        // CLI-only fields survive the file load (the file cannot set
+        // them).
         bool wantSpeedup = experiment.speedup;
+        std::string journalPath = std::move(experiment.journalPath);
+        bool resume = experiment.resume;
+        sim::FaultPlan faults = std::move(experiment.faults);
         std::string err;
         auto fromFile = sim::ExperimentSpec::parseFile(experimentFile, &err);
         if (!fromFile)
             usageError(err);
         experiment = *std::move(fromFile);
         experiment.speedup = experiment.speedup || wantSpeedup;
+        experiment.journalPath = std::move(journalPath);
+        experiment.resume = resume;
+        experiment.faults = std::move(faults);
     } else {
         if (experiment.designs.empty() || experiment.workloads.empty())
             usageError("need at least one --design and one --workload "
@@ -305,15 +360,56 @@ int main(int argc, char **argv)
     if (jobsSet)
         experiment.jobs = jobs;
 
+    if (experiment.resume && experiment.journalPath.empty())
+        usageError("--resume needs --journal <path>");
+    if (!experiment.journalPath.empty()) {
+        // Fail before the sweep, not after hours of simulation.
+        std::FILE *probe =
+            std::fopen(experiment.journalPath.c_str(), "ab");
+        if (!probe)
+            usageError("cannot open journal '" + experiment.journalPath +
+                       "' for appending");
+        std::fclose(probe);
+    }
+
+    // Ctrl-C cancels in-flight runs cooperatively: completed points
+    // are already journaled, and the partial report still renders.
+    sim::installInterruptHandler();
+
+    bool anyFailed = false;
+    bool interrupted = false;
     try {
+        // Config/setup fatals inside the sweep machinery (corrupt
+        // journal, invalid run config) surface as FatalError here and
+        // report as usage/configuration errors, like at parse time.
+        ScopedFatalCapture capture;
         std::vector<sim::RunRecord> records =
             sim::runExperiment(experiment);
+        for (const auto &rec : records) {
+            anyFailed |= !rec.ok;
+            interrupted |= rec.interrupted;
+        }
         std::string rendered =
             sim::renderReport(experiment.config, records, format);
         sim::writeReport(rendered, outPath);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "h2sim: fatal: %s\n", e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "h2sim: %s\n", e.what());
         return 1;
+    }
+    if (interrupted || sim::interruptRequested()) {
+        std::fprintf(stderr,
+                     "h2sim: interrupted; completed points were "
+                     "journaled and the partial report was written\n");
+        return 130;
+    }
+    if (anyFailed) {
+        std::fprintf(stderr,
+                     "h2sim: sweep completed with failed points (see "
+                     "report); exit 3\n");
+        return 3;
     }
     return 0;
 }

@@ -2,11 +2,13 @@
 
 #include <cctype>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/log.h"
 #include "common/parse.h"
 #include "common/units.h"
+#include "sim/result_journal.h"
 #include "sim/sweep_runner.h"
 #include "workloads/workload_registry.h"
 #include "workloads/workload_spec.h"
@@ -153,6 +155,19 @@ ExperimentSpec::parse(std::string_view text, std::string *error)
                             detail::concat("bad value for speedup: '",
                                            value, "' (expected on|off)"));
             spec.speedup = *b;
+        } else if (key == "run-timeout" || key == "run_timeout") {
+            if (!tryParseU64(value, spec.config.runTimeoutMs))
+                return fail(lineNo,
+                            detail::concat("bad value for run-timeout: '",
+                                           value,
+                                           "' (expected milliseconds)"));
+        } else if (key == "retries") {
+            u64 v = 0;
+            if (!tryParseU64(value, v) || v > ~u32(0))
+                return fail(lineNo, detail::concat(
+                                        "bad value for retries: '", value,
+                                        "'"));
+            spec.config.retries = static_cast<u32>(v);
         } else if (key == "format") {
             if (value != "text" && value != "json" && value != "csv")
                 return fail(lineNo,
@@ -211,7 +226,30 @@ std::vector<RunRecord>
 runExperiment(const ExperimentSpec &spec, u32 jobsOverride)
 {
     u32 jobs = jobsOverride ? jobsOverride : spec.jobs;
+    // Declared before the runner: workers may append right up to the
+    // runner's drain, so the journal must be destroyed after it.
+    std::unique_ptr<ResultJournal> journal;
     SweepRunner runner(spec.config, jobs);
+
+    if (!spec.faults.empty())
+        runner.setFaultPlan(&spec.faults);
+    if (!spec.journalPath.empty()) {
+        if (spec.resume) {
+            std::string err;
+            auto recorded = ResultJournal::load(spec.journalPath, &err);
+            if (!recorded)
+                h2_fatal(err);
+            for (const auto &[k, outcome] : *recorded)
+                runner.seed(k, outcome);
+            if (!recorded->empty())
+                h2_inform("resuming from '", spec.journalPath, "': ",
+                          recorded->size(),
+                          " journaled point(s) skipped");
+        }
+        journal =
+            std::make_unique<ResultJournal>(spec.journalPath);
+        runner.setJournal(journal.get());
+    }
 
     std::vector<workloads::Workload> suite;
     if (spec.resolvedWorkloads.size() == spec.workloads.size()) {
@@ -237,10 +275,20 @@ runExperiment(const ExperimentSpec &spec, u32 jobsOverride)
             RunRecord rec;
             rec.workload = w.name;
             rec.design = design;
-            rec.metrics = runner.run(w, design);
-            if (spec.speedup) {
-                rec.hasSpeedup = true;
-                rec.speedup = runner.speedup(w, design);
+            const RunOutcome &o = runner.outcome(w, design);
+            rec.ok = o.ok;
+            rec.interrupted = o.interrupted;
+            rec.error = o.error;
+            rec.attempts = o.attempts;
+            if (o.ok)
+                rec.metrics = o.metrics;
+            if (spec.speedup && o.ok) {
+                const RunOutcome &base = runner.outcome(w, "baseline");
+                if (base.ok && o.metrics.timePs > 0) {
+                    rec.hasSpeedup = true;
+                    rec.speedup = double(base.metrics.timePs) /
+                                  double(o.metrics.timePs);
+                }
             }
             records.push_back(std::move(rec));
         }

@@ -22,6 +22,8 @@
  *   jobs     4           # parallel simulations (0 = all cores)
  *   speedup  on          # also report speedup over the baseline
  *   format   json        # default output format (CLI --format wins)
+ *   run-timeout 60000    # per-run wall-clock watchdog in ms (0 = none)
+ *   retries  2           # re-run a failed point up to N times
  *
  * `key value` and `key=value` are both accepted. Design specs are
  * validated against the design registry at parse time, workload specs
@@ -39,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_plan.h"
 #include "sim/runner.h"
 #include "workloads/workload_registry.h"
 
@@ -59,6 +62,15 @@ struct ExperimentSpec
     u32 jobs = 1;       ///< parallel simulations (0 = all cores)
     std::string format; ///< "" = caller's default; else text|json|csv
 
+    /** Result journal path (h2sim --journal); "" = no journal. */
+    std::string journalPath;
+    /** Seed the sweep from the journal before running (--resume). */
+    bool resume = false;
+    /** Deterministic fault injection (h2sim --inject); CLI-only, no
+     *  file directive — faults are a test harness, not an experiment
+     *  property. */
+    FaultPlan faults;
+
     /** Parse @p text; on error returns nullopt and sets @p error to a
      *  message naming the offending line. */
     static std::optional<ExperimentSpec> parse(std::string_view text,
@@ -69,14 +81,19 @@ struct ExperimentSpec
                                                    std::string *error);
 };
 
-/** One completed (workload, design) simulation of an experiment. */
+/** One completed (workload, design) point of an experiment. */
 struct RunRecord
 {
     std::string workload;
     std::string design; ///< canonical design spec
-    Metrics metrics;
+    Metrics metrics;    ///< valid iff ok
     bool hasSpeedup = false;
     double speedup = 0.0; ///< over the FM-only baseline, when requested
+
+    bool ok = true;           ///< the point simulated successfully
+    bool interrupted = false; ///< cancelled by SIGINT (implies !ok)
+    std::string error;        ///< non-empty iff !ok
+    u32 attempts = 1;         ///< attempts consumed (1 + retries used)
 };
 
 /**
@@ -84,6 +101,13 @@ struct RunRecord
  * workload when speedups were requested) and return the records in
  * workload-major, design-minor file order. @p jobsOverride replaces
  * the file's job count when non-zero.
+ *
+ * Fault tolerance: a failed point yields a record with ok=false and
+ * the captured error — the sweep always completes and every point gets
+ * a record. With a journalPath, completed outcomes are appended
+ * durably as they finish; with resume, journaled outcomes are seeded
+ * first and only missing points simulate. h2_fatal (capturable) on an
+ * unopenable or corrupt journal.
  */
 std::vector<RunRecord> runExperiment(const ExperimentSpec &spec,
                                      u32 jobsOverride = 0);

@@ -1,0 +1,113 @@
+#include "sim/fault_plan.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.h"
+#include "common/parse.h"
+#include "sim/interrupt.h"
+#include "sim/system.h"
+
+namespace h2::sim {
+
+std::optional<FaultPlan>
+FaultPlan::parse(std::string_view text, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = detail::concat("bad --inject plan: ", why);
+        return std::nullopt;
+    };
+
+    FaultPlan plan;
+    while (!text.empty()) {
+        auto comma = text.find(',');
+        std::string_view clause = text.substr(0, comma);
+        text = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : text.substr(comma + 1);
+        if (clause.empty())
+            continue;
+        auto eq = clause.find('=');
+        if (eq == std::string_view::npos)
+            return fail(detail::concat("clause '", clause,
+                                       "' has no '=' (expected "
+                                       "fail=<key>, timeout=<key> or "
+                                       "flaky=<key>:<n>)"));
+        std::string_view mode = clause.substr(0, eq);
+        std::string_view rest = clause.substr(eq + 1);
+        if (rest.empty())
+            return fail(detail::concat("clause '", clause,
+                                       "' names no sweep-point key"));
+        if (mode == "fail") {
+            plan.failKeys.emplace(rest);
+        } else if (mode == "timeout") {
+            plan.timeoutKeys.emplace(rest);
+        } else if (mode == "flaky") {
+            // The count is after the *final* ':' — design specs may
+            // contain ':' themselves ("lbm|dfc:1024:2" fails twice).
+            auto colon = rest.rfind(':');
+            if (colon == std::string_view::npos || colon == 0 ||
+                colon + 1 == rest.size())
+                return fail(detail::concat(
+                    "flaky clause '", clause,
+                    "' needs a failure count: flaky=<key>:<n>"));
+            u64 n = 0;
+            if (!tryParseU64(rest.substr(colon + 1), n) || n == 0 ||
+                n > ~u32(0))
+                return fail(detail::concat(
+                    "flaky clause '", clause,
+                    "' has a bad failure count '",
+                    rest.substr(colon + 1), "'"));
+            plan.flakyKeys.emplace(std::string(rest.substr(0, colon)),
+                                   static_cast<u32>(n));
+        } else {
+            return fail(detail::concat("unknown fault mode '", mode,
+                                       "' (expected fail, timeout or "
+                                       "flaky)"));
+        }
+    }
+    if (plan.empty())
+        return fail("no clauses");
+    return plan;
+}
+
+void
+FaultPlan::inject(const std::string &key, u32 attempt,
+                  u64 runTimeoutMs) const
+{
+    if (failKeys.count(key))
+        throw std::runtime_error(
+            detail::concat("injected failure for '", key, "'"));
+
+    if (timeoutKeys.count(key)) {
+        if (runTimeoutMs == 0)
+            throw std::runtime_error(detail::concat(
+                "injected timeout for '", key,
+                "' needs --run-timeout (refusing to hang forever)"));
+        // Emulate a runaway simulation that the watchdog cancels:
+        // block in slices (staying responsive to Ctrl-C) until the
+        // deadline, then report the cancellation the watchdog would.
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(runTimeoutMs);
+        while (std::chrono::steady_clock::now() < deadline) {
+            if (interruptRequested())
+                throw SimInterruptedError(detail::concat(
+                    "interrupted (SIGINT) during injected timeout for '",
+                    key, "'"));
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        throw SimTimeoutError(detail::concat(
+            "run timeout: injected runaway '", key, "' exceeded ",
+            runTimeoutMs, " ms of wall clock"));
+    }
+
+    if (auto it = flakyKeys.find(key);
+        it != flakyKeys.end() && attempt <= it->second)
+        throw std::runtime_error(detail::concat(
+            "injected flaky failure for '", key, "' (attempt ", attempt,
+            " of ", it->second, " planned failures)"));
+}
+
+} // namespace h2::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic fault injection for the sweep engine, so every
+ * recovery path (capture, retry, watchdog, journal, partial-failure
+ * exit) is exercised by ordinary ctest cases instead of luck.
+ *
+ * Grammar (h2sim --inject, comma-separated clauses):
+ *
+ *   fail=<key>       the point throws on every attempt
+ *   timeout=<key>    the point emulates a runaway simulation: it
+ *                    blocks until the --run-timeout watchdog deadline,
+ *                    then throws SimTimeoutError (rejected at run time
+ *                    when no run timeout is configured — injection
+ *                    never hangs a sweep forever)
+ *   flaky=<key>:<n>  the point fails its first <n> attempts, then runs
+ *                    normally (so it succeeds iff --retries >= <n>)
+ *
+ * <key> is the sweep-point key "<workload>|<design>" with the design
+ * in canonical spec form — exactly the key used by the result map and
+ * the journal, e.g. "lbm|dfc" or "mcf|hybrid2:cache=64". For flaky,
+ * the count is the text after the final ':' (design specs may
+ * themselves contain ':').
+ */
+
+#ifndef H2_SIM_FAULT_PLAN_H
+#define H2_SIM_FAULT_PLAN_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace h2::sim {
+
+struct FaultPlan
+{
+    std::set<std::string> failKeys;
+    std::set<std::string> timeoutKeys;
+    std::map<std::string, u32> flakyKeys; ///< key -> failures to inject
+
+    bool
+    empty() const
+    {
+        return failKeys.empty() && timeoutKeys.empty() &&
+               flakyKeys.empty();
+    }
+
+    /** Parse the --inject grammar; nullopt + @p error on a bad plan. */
+    static std::optional<FaultPlan> parse(std::string_view text,
+                                          std::string *error);
+
+    /**
+     * Called by the sweep runner at the top of attempt @p attempt
+     * (1-based) of point @p key. Throws the planned fault, or returns
+     * normally when the point should simulate. @p runTimeoutMs is the
+     * active watchdog budget (for timeout emulation).
+     */
+    void inject(const std::string &key, u32 attempt,
+                u64 runTimeoutMs) const;
+};
+
+} // namespace h2::sim
+
+#endif // H2_SIM_FAULT_PLAN_H

@@ -1,0 +1,47 @@
+#include "sim/interrupt.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace h2::sim {
+
+namespace {
+
+std::atomic<bool> interrupted{false};
+
+void
+sigintHandler(int)
+{
+    // Async-signal-safe: one lock-free store, then arrange for a
+    // second Ctrl-C to fall through to the default (killing) handler.
+    interrupted.store(true, std::memory_order_relaxed);
+    std::signal(SIGINT, SIG_DFL);
+}
+
+} // namespace
+
+void
+installInterruptHandler()
+{
+    std::signal(SIGINT, sigintHandler);
+}
+
+bool
+interruptRequested()
+{
+    return interrupted.load(std::memory_order_relaxed);
+}
+
+void
+requestInterrupt()
+{
+    interrupted.store(true, std::memory_order_relaxed);
+}
+
+void
+clearInterruptForTest()
+{
+    interrupted.store(false, std::memory_order_relaxed);
+}
+
+} // namespace h2::sim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Cooperative interruption (Ctrl-C) for long sweeps.
+ *
+ * The SIGINT handler only sets an atomic flag; System's stepping loop
+ * and the sweep runner poll it, abort their in-flight work with
+ * SimInterruptedError, and h2sim then flushes the result journal and
+ * the in-progress report before exiting 130 — completed points are
+ * never dropped. A second Ctrl-C restores the default handler, so a
+ * wedged process can still be killed interactively.
+ */
+
+#ifndef H2_SIM_INTERRUPT_H
+#define H2_SIM_INTERRUPT_H
+
+namespace h2::sim {
+
+/** Install the SIGINT handler described above (h2sim calls this before
+ *  starting a sweep; library users who want Ctrl-C to kill the process
+ *  simply don't). */
+void installInterruptHandler();
+
+/** True once SIGINT was received (or requestInterrupt was called). */
+bool interruptRequested();
+
+/** What the signal handler does; exposed so tests can drive the
+ *  cooperative cancellation paths without real signals. */
+void requestInterrupt();
+
+/** Reset the flag (tests only — the flag is process-global). */
+void clearInterruptForTest();
+
+} // namespace h2::sim
+
+#endif // H2_SIM_INTERRUPT_H

@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <sstream>
+#include <type_traits>
 
 #include "common/units.h"
 
@@ -48,6 +49,73 @@ Metrics::writeJson(JsonWriter &w) const
     for (const auto &[name, value] : detail.entries())
         w.kv(name, value);
     w.endObject().endObject();
+}
+
+std::optional<Metrics>
+Metrics::fromJson(const JsonValue &v, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return std::nullopt;
+    };
+
+    if (!v.isObject())
+        return fail("metrics record is not a JSON object");
+
+    Metrics m;
+    std::string typeError;
+    auto str = [&](const char *key, std::string &out) {
+        if (const JsonValue *f = v.find(key)) {
+            if (!f->isString())
+                typeError = std::string(key) + " is not a string";
+            else
+                out = f->asString();
+        }
+    };
+    auto num = [&](const char *key, auto &out) {
+        if (const JsonValue *f = v.find(key)) {
+            if (!f->isNumber())
+                typeError = std::string(key) + " is not a number";
+            else if constexpr (std::is_floating_point_v<
+                                   std::remove_reference_t<decltype(out)>>)
+                out = f->asDouble();
+            else
+                out = f->asU64();
+        }
+    };
+
+    str("workload", m.workload);
+    str("design", m.design);
+    num("instructions", m.instructions);
+    num("time_ps", m.timePs);
+    num("cycles", m.cycles);
+    num("ipc", m.ipc);
+    num("mem_accesses", m.memAccesses);
+    num("llc_misses", m.llcMisses);
+    num("mpki", m.mpki);
+    num("mem_requests", m.memRequests);
+    num("served_from_nm", m.servedFromNm);
+    num("nm_traffic_bytes", m.nmTrafficBytes);
+    num("fm_traffic_bytes", m.fmTrafficBytes);
+    num("dynamic_energy_pj", m.dynamicEnergyPj);
+    num("flat_capacity_bytes", m.flatCapacityBytes);
+    num("footprint_bytes", m.footprintBytes);
+    if (const JsonValue *detail = v.find("detail")) {
+        if (!detail->isObject())
+            typeError = "detail is not an object";
+        else
+            for (const auto &[name, stat] : detail->members) {
+                if (!stat.isNumber()) {
+                    typeError = "detail." + name + " is not a number";
+                    break;
+                }
+                m.detail.add(name, stat.asDouble());
+            }
+    }
+    if (!typeError.empty())
+        return fail("metrics record: " + typeError);
+    return m;
 }
 
 std::string

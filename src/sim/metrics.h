@@ -6,6 +6,7 @@
 #ifndef H2_SIM_METRICS_H
 #define H2_SIM_METRICS_H
 
+#include <optional>
 #include <string>
 
 #include "common/json.h"
@@ -48,6 +49,16 @@ struct Metrics
     /** Emit this run as one JSON object into an ongoing document
      *  (shared serializer behind h2sim --format json and the benches). */
     void writeJson(JsonWriter &w) const;
+
+    /**
+     * Rebuild a Metrics from a parsed writeJson() object (the result
+     * journal's resume path). Missing keys keep their defaults, so old
+     * journals stay loadable; a non-object or a type mismatch yields
+     * nullopt with @p error set. writeJson emits doubles in shortest
+     * round-trip form, so load(save(m)) == m field-exactly.
+     */
+    static std::optional<Metrics> fromJson(const JsonValue &v,
+                                           std::string *error);
 
     /** Column names of toCsvRow(), comma-joined. */
     static std::string csvHeader();

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/io.h"
 #include "common/json.h"
 #include "common/log.h"
 #include "common/units.h"
@@ -21,6 +22,8 @@ writeConfigJson(JsonWriter &w, const RunConfig &cfg)
         .kv("warmup_instr_per_core", cfg.warmupInstrPerCore)
         .kv("num_cores", cfg.numCores)
         .kv("seed", cfg.seed)
+        .kv("run_timeout_ms", cfg.runTimeoutMs)
+        .kv("retries", cfg.retries)
         .endObject();
 }
 
@@ -29,6 +32,14 @@ renderText(const std::vector<RunRecord> &records)
 {
     std::ostringstream os;
     for (const auto &rec : records) {
+        if (!rec.ok) {
+            os << rec.workload << " on " << rec.design << ": "
+               << (rec.interrupted ? "INTERRUPTED" : "FAILED")
+               << " after " << rec.attempts << " attempt"
+               << (rec.attempts == 1 ? "" : "s") << ": " << rec.error
+               << "\n\n";
+            continue;
+        }
         os << rec.metrics.toString();
         if (rec.hasSpeedup) {
             char buf[64];
@@ -51,11 +62,19 @@ renderJson(const RunConfig &config, const std::vector<RunRecord> &records)
     for (const auto &rec : records) {
         w.beginObject()
             .kv("workload", rec.workload)
-            .kv("design_spec", rec.design);
+            .kv("design_spec", rec.design)
+            .kv("ok", rec.ok)
+            .kv("attempts", rec.attempts);
         if (rec.hasSpeedup)
             w.kv("speedup_vs_baseline", rec.speedup);
-        w.key("metrics");
-        rec.metrics.writeJson(w);
+        if (rec.ok) {
+            w.key("metrics");
+            rec.metrics.writeJson(w);
+        } else {
+            w.kv("error", rec.error);
+            if (rec.interrupted)
+                w.kv("interrupted", true);
+        }
         w.endObject();
     }
     w.endArray().endObject();
@@ -66,20 +85,49 @@ std::string
 renderCsv(const std::vector<RunRecord> &records)
 {
     bool anySpeedup = false;
-    for (const auto &rec : records)
+    bool anyFailed = false;
+    for (const auto &rec : records) {
         anySpeedup |= rec.hasSpeedup;
+        anyFailed |= !rec.ok;
+    }
 
     std::ostringstream os;
     os << Metrics::csvHeader();
     if (anySpeedup)
         os << ",speedup_vs_baseline";
+    // Failure columns appear only in reports that have failures (the
+    // same shape rule as the speedup column), so fully-successful CSV
+    // output is byte-identical to the pre-fault-tolerance format.
+    if (anyFailed)
+        os << ",ok,attempts,error";
     os << "\n";
     for (const auto &rec : records) {
-        os << rec.metrics.toCsvRow();
+        if (rec.ok) {
+            os << rec.metrics.toCsvRow();
+        } else {
+            // Metric columns of a failed point render as a defaulted
+            // row (zeros) so the column count always matches.
+            Metrics empty;
+            empty.workload = rec.workload;
+            empty.design = rec.design;
+            os << empty.toCsvRow();
+        }
         if (anySpeedup) {
             os << ',';
             if (rec.hasSpeedup)
                 os << JsonWriter::formatDouble(rec.speedup);
+        }
+        if (anyFailed) {
+            os << ',' << (rec.ok ? "true" : "false") << ','
+               << rec.attempts << ',';
+            std::string err = "\"";
+            for (char c : rec.error) {
+                err += c;
+                if (c == '"')
+                    err += c;
+            }
+            err += '"';
+            os << err;
         }
         os << "\n";
     }
@@ -119,12 +167,10 @@ writeReport(const std::string &rendered, const std::string &path)
         std::fputs(rendered.c_str(), stdout);
         return;
     }
-    std::FILE *out = std::fopen(path.c_str(), "w");
-    if (!out)
-        h2_fatal("cannot write '", path, "'");
-    std::fputs(rendered.c_str(), out);
-    if (std::fclose(out) != 0)
-        h2_fatal("error writing '", path, "'");
+    // Atomic: a crash mid-write leaves the previous report intact,
+    // never a truncated file that looks complete.
+    if (std::string err = writeFileAtomic(path, rendered); !err.empty())
+        h2_fatal("cannot write '", path, "': ", err);
 }
 
 } // namespace h2::sim

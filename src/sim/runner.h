@@ -48,6 +48,35 @@ struct RunConfig
      *  restores the pre-queue analytic dispatch, for A/B runs and the
      *  noqueue golden suite. */
     bool queue = true;
+    /** Per-run wall-clock watchdog in ms (0 = none): a run past the
+     *  deadline is cancelled with SimTimeoutError and its sweep point
+     *  recorded as a timed-out failure (h2sim --run-timeout). */
+    u64 runTimeoutMs = 0;
+    /** Retries per sweep point after a failure (h2sim --retries);
+     *  attempt counts land in RunOutcome and the result journal. */
+    u32 retries = 0;
+};
+
+/**
+ * The structured result of one sweep point: Metrics on success, or a
+ * captured failure — a failed point never kills the sweep (or the
+ * process) any more.
+ *
+ * wallMs is host wall clock, the one non-deterministic field; reports
+ * never render it (resumed and fresh sweeps stay bit-identical), it
+ * lives only in the result journal for post-hoc analysis.
+ */
+struct RunOutcome
+{
+    bool ok = false;
+    bool timedOut = false;    ///< the --run-timeout watchdog fired
+    bool interrupted = false; ///< SIGINT: never retried, never journaled
+    Metrics metrics;          ///< valid iff ok
+    std::string error;        ///< non-empty iff !ok
+    u32 attempts = 1;         ///< attempts consumed (1 + retries used)
+    u64 wallMs = 0;           ///< wall clock across all attempts
+
+    bool operator==(const RunOutcome &) const = default;
 };
 
 /**

@@ -34,6 +34,11 @@ struct SystemConfig
      *  remap state warm up; all counters then reset). */
     u64 warmupInstrPerCore = 0;
     u64 seed = 42;
+    /** Wall-clock watchdog for one run in milliseconds; 0 disables.
+     *  System::run polls cooperatively in its stepping loop and throws
+     *  SimTimeoutError past the deadline, so a runaway simulation can
+     *  be cancelled without killing the sweep. */
+    u64 runTimeoutMs = 0;
 };
 
 /** The paper's Table 1 configuration with @p nmBytes of near memory. */

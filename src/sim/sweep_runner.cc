@@ -1,6 +1,11 @@
 #include "sim/sweep_runner.h"
 
+#include <chrono>
+
 #include "common/log.h"
+#include "sim/fault_plan.h"
+#include "sim/interrupt.h"
+#include "sim/result_journal.h"
 
 namespace h2::sim {
 
@@ -21,7 +26,65 @@ SweepRunner::key(const workloads::Workload &workload,
     // Canonical spec form: "dfc" and "dfc:1024" memoize as one run.
     // cacheName keeps a trace:<path> replay distinct from the synthetic
     // workload it was captured from (they share Metrics.workload).
-    return workload.cacheName() + "|" + canonicalDesignSpec(designSpec);
+    auto parsed = DesignSpec::parse(designSpec);
+    return workload.cacheName() + "|" +
+           (parsed.ok() ? parsed.spec->toString() : designSpec);
+}
+
+RunOutcome
+SweepRunner::executePoint(const std::string &resultKey,
+                          const workloads::Workload &workload,
+                          const std::string &designSpec)
+{
+    auto start = std::chrono::steady_clock::now();
+    RunOutcome out;
+    for (u32 attempt = 1; attempt <= cfg.retries + 1; ++attempt) {
+        out.attempts = attempt;
+        out.timedOut = false;
+        if (interruptRequested()) {
+            out.interrupted = true;
+            out.error = detail::concat(
+                "interrupted (SIGINT) before simulating '", resultKey,
+                "'");
+            break;
+        }
+        try {
+            // Library-level h2_fatal sites (bad design spec, bad trace,
+            // invalid config) throw FatalError inside this scope
+            // instead of exiting the process.
+            ScopedFatalCapture capture;
+            if (faults)
+                faults->inject(resultKey, attempt, cfg.runTimeoutMs);
+            out.metrics = simulateOne(cfg, workload, designSpec);
+            out.ok = true;
+            out.error.clear();
+            break;
+        } catch (const SimInterruptedError &e) {
+            out.interrupted = true;
+            out.error = e.what();
+            break;
+        } catch (const SimTimeoutError &e) {
+            out.timedOut = true;
+            out.error = e.what();
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        }
+    }
+    out.wallMs = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return out;
+}
+
+void
+SweepRunner::seed(const std::string &resultKey, const RunOutcome &outcome)
+{
+    std::unique_lock lock(mu);
+    if (done.count(resultKey) || inFlight.count(resultKey))
+        return;
+    done.emplace(resultKey, outcome);
+    successCacheFresh = false;
 }
 
 void
@@ -38,11 +101,16 @@ SweepRunner::submit(const workloads::Workload &workload,
     // The workload is copied into the task: benches routinely pass
     // temporaries and the simulation outlives the submit call.
     pool.submit([this, k, workload, designSpec] {
-        Metrics m = simulateOne(cfg, workload, designSpec);
+        RunOutcome out = executePoint(k, workload, designSpec);
+        // Interrupted points are never journaled: a --resume run must
+        // re-simulate them, not trust a half-cancelled record.
+        if (journal && !out.interrupted)
+            journal->append(k, out);
         {
             std::unique_lock lock(mu);
             inFlight.erase(k);
-            done.emplace(k, std::move(m));
+            done.insert_or_assign(k, std::move(out));
+            successCacheFresh = false;
         }
         doneCv.notify_all();
     });
@@ -61,7 +129,7 @@ SweepRunner::submitSweep(const std::vector<workloads::Workload> &suite,
     }
 }
 
-const Metrics &
+const RunOutcome &
 SweepRunner::blockOn(const std::string &resultKey)
 {
     std::unique_lock lock(mu);
@@ -70,12 +138,23 @@ SweepRunner::blockOn(const std::string &resultKey)
     return done.at(resultKey);
 }
 
+const RunOutcome &
+SweepRunner::outcome(const workloads::Workload &workload,
+                     const std::string &designSpec)
+{
+    submit(workload, designSpec);
+    return blockOn(key(workload, designSpec));
+}
+
 const Metrics &
 SweepRunner::run(const workloads::Workload &workload,
                  const std::string &designSpec)
 {
-    submit(workload, designSpec);
-    return blockOn(key(workload, designSpec));
+    const RunOutcome &o = outcome(workload, designSpec);
+    if (!o.ok)
+        throw FatalError(detail::concat(key(workload, designSpec), ": ",
+                                        o.error));
+    return o.metrics;
 }
 
 double
@@ -84,8 +163,8 @@ SweepRunner::speedup(const workloads::Workload &workload,
 {
     submit(workload, "baseline");
     submit(workload, designSpec);
-    const Metrics &base = blockOn(key(workload, "baseline"));
-    const Metrics &design = blockOn(key(workload, designSpec));
+    const Metrics &base = run(workload, "baseline");
+    const Metrics &design = run(workload, designSpec);
     h2_assert(design.timePs > 0, "zero runtime");
     return double(base.timePs) / double(design.timePs);
 }
@@ -97,11 +176,26 @@ SweepRunner::waitAll()
     doneCv.wait(lock, [this] { return inFlight.empty(); });
 }
 
+const std::map<std::string, RunOutcome> &
+SweepRunner::outcomes()
+{
+    waitAll();
+    return done;
+}
+
 const std::map<std::string, Metrics> &
 SweepRunner::results()
 {
     waitAll();
-    return done;
+    std::unique_lock lock(mu);
+    if (!successCacheFresh) {
+        successCache.clear();
+        for (const auto &[k, o] : done)
+            if (o.ok)
+                successCache.emplace(k, o.metrics);
+        successCacheFresh = true;
+    }
+    return successCache;
 }
 
 u64
@@ -110,8 +204,9 @@ SweepRunner::totalAccesses()
     waitAll();
     std::unique_lock lock(mu);
     u64 total = 0;
-    for (const auto &[k, m] : done)
-        total += m.memAccesses;
+    for (const auto &[k, o] : done)
+        if (o.ok)
+            total += o.metrics.memAccesses;
     return total;
 }
 

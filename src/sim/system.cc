@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "sim/interrupt.h"
 
 namespace h2::sim {
+
+namespace {
+// Steps between watchdog/interrupt polls: frequent enough that a
+// cancelled run stops within milliseconds, rare enough that the
+// success path stays within measurement noise.
+constexpr u32 kCancelCheckStride = 2048;
+} // namespace
 
 System::System(const SystemConfig &config,
                const workloads::Workload &workload,
@@ -38,10 +46,24 @@ System::System(const SystemConfig &config,
 }
 
 void
+System::checkCancellation() const
+{
+    if (interruptRequested())
+        throw SimInterruptedError(
+            detail::concat("interrupted (SIGINT) while simulating '",
+                           wl.name, "'"));
+    if (deadline && std::chrono::steady_clock::now() >= *deadline)
+        throw SimTimeoutError(
+            detail::concat("run timeout: '", wl.name, "' exceeded ",
+                           cfg.runTimeoutMs, " ms of wall clock"));
+}
+
+void
 System::runUntil(u64 instrTarget)
 {
     // Advance the globally earliest core, so cross-core memory
     // contention is observed in (approximate) time order.
+    u32 untilCheck = kCancelCheckStride;
     while (true) {
         CoreModel *next = nullptr;
         for (auto &core : cores)
@@ -51,6 +73,10 @@ System::runUntil(u64 instrTarget)
         if (!next)
             break;
         next->step();
+        if (--untilCheck == 0) {
+            untilCheck = kCancelCheckStride;
+            checkCancellation();
+        }
     }
 }
 
@@ -58,6 +84,9 @@ void
 System::run()
 {
     h2_assert(!ran, "System::run called twice");
+    if (cfg.runTimeoutMs > 0)
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(cfg.runTimeoutMs);
     auto latestNow = [&] {
         Tick t = 0;
         for (const auto &core : cores)

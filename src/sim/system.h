@@ -7,8 +7,11 @@
 #ifndef H2_SIM_SYSTEM_H
 #define H2_SIM_SYSTEM_H
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/core_model.h"
@@ -16,6 +19,31 @@
 #include "workloads/workload_registry.h"
 
 namespace h2::sim {
+
+/** The per-run watchdog fired: SystemConfig::runTimeoutMs expired
+ *  while the simulation was still stepping. Thrown out of System::run
+ *  (cooperatively — the stepping loop polls the deadline); the sweep
+ *  runner records the point as a timed-out failure. */
+class SimTimeoutError : public std::runtime_error
+{
+  public:
+    explicit SimTimeoutError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** The run was cancelled by a cooperative interrupt (SIGINT — see
+ *  sim/interrupt.h). Never retried and never journaled: an interrupted
+ *  point reruns on --resume. */
+class SimInterruptedError : public std::runtime_error
+{
+  public:
+    explicit SimInterruptedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
 
 /** LlcView over the shared LLC for LGM-style policies. */
 class HierarchyLlcView : public mem::LlcView
@@ -57,8 +85,11 @@ class System
 
   private:
     void runUntil(u64 instrTarget);
+    void checkCancellation() const;
 
     SystemConfig cfg;
+    /** Watchdog deadline, armed by run() when cfg.runTimeoutMs > 0. */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
     workloads::Workload wl;
     std::unique_ptr<cache::CacheHierarchy> hier;
     std::unique_ptr<HierarchyLlcView> llcView;

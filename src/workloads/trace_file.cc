@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/io.h"
 #include "common/log.h"
 #include "common/parse.h"
 
@@ -609,13 +610,10 @@ writeTraceFile(const std::string &path, const TraceData &data,
         }
     }
 
-    std::ofstream file(path, std::ios::binary);
-    if (!file)
-        h2_fatal("cannot write trace file '", path, "'");
-    file.write(out.data(), static_cast<std::streamsize>(out.size()));
-    file.close();
-    if (!file)
-        h2_fatal("error writing trace file '", path, "'");
+    // Atomic: a crash mid-write never leaves a truncated trace that a
+    // later run would open and fail on halfway through.
+    if (std::string err = writeFileAtomic(path, out); !err.empty())
+        h2_fatal("cannot write trace file '", path, "': ", err);
 }
 
 std::optional<TraceData>

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# End-to-end fault injection: a sweep with an always-failing point, a
+# watchdog-timeout point, and a flaky-twice point (with enough retries
+# to recover) must complete every healthy point, journal every outcome,
+# and exit with the distinct partial-failure code 3.
+#
+# Usage: inject_smoke.sh <h2sim-binary> <workdir>
+set -u
+
+H2SIM=$1
+WORKDIR=$2
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+cd "$WORKDIR" || exit 1
+
+"$H2SIM" --design baseline --design dfc --design hybrid2 \
+    --workload lbm --workload mcf \
+    --nm-mib 1024 --fm-mib 16384 --cores 2 --instr 20000 \
+    --jobs 2 --format json --retries 2 --run-timeout 1000 \
+    --inject 'fail=lbm|baseline,timeout=lbm|hybrid2,flaky=lbm|dfc:2' \
+    --journal inject.jnl --out inject.json
+rc=$?
+
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: expected partial-failure exit 3, got $rc"
+    exit 1
+fi
+if ! grep -q '"ok": false' inject.json; then
+    echo "FAIL: report lists no failed points"
+    exit 1
+fi
+if ! grep -q '"error": "injected failure' inject.json; then
+    echo "FAIL: injected failure missing from report"
+    exit 1
+fi
+if ! grep -q 'run timeout' inject.json; then
+    echo "FAIL: injected timeout missing from report"
+    exit 1
+fi
+# The flaky point recovered on its third attempt.
+if ! grep -q '"attempts": 3' inject.json; then
+    echo "FAIL: flaky point did not record 3 attempts"
+    exit 1
+fi
+# Healthy points completed despite lbm's faults: all 3 mcf points plus
+# the recovered flaky lbm|dfc point.
+ok_count=$(grep -c '"ok": true' inject.json)
+if [ "$ok_count" -ne 4 ]; then
+    echo "FAIL: expected 4 successful records, got $ok_count"
+    exit 1
+fi
+# Every point, failed or not, landed in the journal.
+recs=$(wc -l < inject.jnl)
+if [ "$recs" -ne 6 ]; then
+    echo "FAIL: expected 6 journal records, got $recs"
+    exit 1
+fi
+echo "PASS: fault-injected sweep journaled everything and exited 3"

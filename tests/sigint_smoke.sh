@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Ctrl-C semantics: SIGINT must exit 130 after flushing the journal and
+# writing the partial report (interrupted points rendered as such).
+#
+# Usage: sigint_smoke.sh <h2sim-binary> <workdir>
+set -u
+
+H2SIM=$1
+WORKDIR=$2
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+cd "$WORKDIR" || exit 1
+
+# A sweep long enough that the SIGINT always lands mid-run; the
+# cooperative cancel then stops it within milliseconds.
+"$H2SIM" --design baseline --design dfc --design hybrid2 \
+    --workload lbm --workload mcf \
+    --nm-mib 1024 --fm-mib 16384 --cores 2 --instr 50000000 \
+    --jobs 1 --format json --journal sweep.jnl --out report.json &
+pid=$!
+sleep 1
+kill -INT "$pid"
+wait "$pid"
+rc=$?
+
+if [ "$rc" -ne 130 ]; then
+    echo "FAIL: expected exit 130 after SIGINT, got $rc"
+    exit 1
+fi
+if [ ! -f report.json ]; then
+    echo "FAIL: partial report was not written"
+    exit 1
+fi
+if [ ! -f sweep.jnl ]; then
+    echo "FAIL: journal was not written"
+    exit 1
+fi
+echo "PASS: SIGINT exited 130 with journal and partial report on disk"

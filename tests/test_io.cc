@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for atomic file writes (common/io.h): contents land intact,
+ * no temp file survives, errors are reported not fatal, and a crash
+ * before the rename leaves the previous file untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/io.h"
+
+namespace h2 {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+exists(const std::string &path)
+{
+    std::ifstream in(path);
+    return in.good();
+}
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(WriteFileAtomic, WritesContentsAndRemovesTemp)
+{
+    std::string path = tmpPath("io_basic.txt");
+    EXPECT_EQ(writeFileAtomic(path, "hello\nworld\n"), "");
+    EXPECT_EQ(slurp(path), "hello\nworld\n");
+    EXPECT_FALSE(exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, ReplacesExistingFile)
+{
+    std::string path = tmpPath("io_replace.txt");
+    ASSERT_EQ(writeFileAtomic(path, "old contents"), "");
+    EXPECT_EQ(writeFileAtomic(path, "new"), "");
+    EXPECT_EQ(slurp(path), "new");
+    std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, BinaryRoundTrip)
+{
+    std::string path = tmpPath("io_binary.bin");
+    std::string data;
+    for (int i = 0; i < 256; ++i)
+        data += static_cast<char>(i);
+    ASSERT_EQ(writeFileAtomic(path, data), "");
+    EXPECT_EQ(slurp(path), data);
+    std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, ErrorOnMissingDirectory)
+{
+    std::string err = writeFileAtomic(
+        testing::TempDir() + "no_such_dir_h2/out.txt", "x");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("no_such_dir_h2"), std::string::npos);
+}
+
+using WriteFileAtomicDeathTest = ::testing::Test;
+
+TEST(WriteFileAtomicDeathTest, CrashBeforeRenameKeepsOldFile)
+{
+    std::string path = tmpPath("io_crash.txt");
+    ASSERT_EQ(writeFileAtomic(path, "precious"), "");
+    EXPECT_DEATH(
+        {
+            detail::crashBeforeRenameForTest = true;
+            writeFileAtomic(path, "half-written replacement");
+        },
+        "");
+    // The crash happened after the temp write but before the rename:
+    // the visible file still has the old, complete contents.
+    EXPECT_EQ(slurp(path), "precious");
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+}
+
+} // namespace
+} // namespace h2

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Exception-safety tests for the shared thread pool: a throwing job
+ * must never std::terminate the process, must not wedge drain(), and
+ * must leave the pool usable for subsequent jobs. The sweep engine's
+ * fault tolerance is built on these guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/thread_pool.h"
+
+namespace h2 {
+namespace {
+
+TEST(ThreadPool, ThrowingJobDoesNotTerminate)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] {
+            ++ran;
+            throw std::runtime_error("boom");
+        });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_EQ(pool.caughtExceptions(), 8u);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterThrowingJobs)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("first wave"); });
+    pool.drain();
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&] { ++ran; });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 16);
+    EXPECT_EQ(pool.caughtExceptions(), 1u);
+}
+
+TEST(ThreadPool, NonStdExceptionsAreCapturedToo)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw 42; });
+    pool.drain();
+    EXPECT_EQ(pool.caughtExceptions(), 1u);
+}
+
+TEST(ThreadPool, MixedThrowingAndHealthyJobsAllRun)
+{
+    ThreadPool pool(4);
+    std::atomic<int> healthy{0};
+    for (int i = 0; i < 32; ++i) {
+        if (i % 3 == 0)
+            pool.submit([] { throw std::runtime_error("every third"); });
+        else
+            pool.submit([&] { ++healthy; });
+    }
+    pool.drain();
+    EXPECT_EQ(healthy.load(), 21);
+    EXPECT_EQ(pool.caughtExceptions(), 11u);
+}
+
+TEST(ThreadPool, FatalInsideCapturedJobIsAnException)
+{
+    // A worker running under ScopedFatalCapture turns h2_fatal into a
+    // FatalError; escaping the job it is caught by the pool like any
+    // other exception instead of exiting the process.
+    ThreadPool pool(1);
+    pool.submit([] {
+        ScopedFatalCapture capture;
+        h2_fatal("fatal inside a pool job");
+    });
+    pool.drain();
+    EXPECT_EQ(pool.caughtExceptions(), 1u);
+}
+
+} // namespace
+} // namespace h2
