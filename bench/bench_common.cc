@@ -117,7 +117,7 @@ banner(const std::string &title, const std::string &paperRef,
     std::printf("reproduces: %s (Hybrid2, HPCA 2020)\n", paperRef.c_str());
     std::printf("mode: %s (%llu instructions/core), jobs: %u\n\n",
                 opts.full ? "full" : "quick",
-                (unsigned long long)opts.effectiveInstrPerCore(),
+                static_cast<unsigned long long>(opts.effectiveInstrPerCore()),
                 opts.jobs ? opts.jobs : ThreadPool::defaultConcurrency());
 }
 

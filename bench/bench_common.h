@@ -18,8 +18,7 @@
  *   --out=<path>        where benches that emit JSON write it
  */
 
-#ifndef H2_BENCH_BENCH_COMMON_H
-#define H2_BENCH_BENCH_COMMON_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -112,5 +111,3 @@ geomeansByClass(const std::vector<workloads::Workload> &suite,
                     &metric);
 
 } // namespace h2::bench
-
-#endif // H2_BENCH_BENCH_COMMON_H

@@ -118,8 +118,8 @@ main(int argc, char **argv)
         std::fputs(json.c_str(), stdout);
     } else {
         std::printf("sweep: %llu sims, %llu core accesses per pass\n",
-                    (unsigned long long)serial.sims,
-                    (unsigned long long)serial.accesses);
+                    static_cast<unsigned long long>(serial.sims),
+                    static_cast<unsigned long long>(serial.accesses));
         std::printf("jobs=1:  %7.2fs  %6.2f sims/s  %.2e accesses/s\n",
                     serial.seconds, serial.simsPerSec(),
                     serial.accessesPerSec());

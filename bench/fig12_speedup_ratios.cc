@@ -38,8 +38,8 @@ main(int argc, char **argv)
         if (!opts.csv)
             std::printf("--- %lluGB NM (1:%llu); Hybrid2 offers %.1f%% "
                         "more memory than caches ---\n",
-                        (unsigned long long)nmGb,
-                        (unsigned long long)(16 / nmGb),
+                        static_cast<unsigned long long>(nmGb),
+                        static_cast<unsigned long long>(16 / nmGb),
                         morePct);
         bench::Table table({"NM", "Design", "High", "Medium", "Low",
                             "All"},

@@ -19,7 +19,7 @@ main(int argc, char **argv)
 
     for (u64 nmGb : {1, 2, 4}) {
         std::printf("--- NM:FM ratio %llu:16 ---\n",
-                    (unsigned long long)nmGb);
+                    static_cast<unsigned long long>(nmGb));
         auto cfg = sim::table1Config(nmGb * GiB);
         std::printf("%s\n", sim::describeConfig(cfg).c_str());
     }

@@ -29,7 +29,7 @@ main(int argc, char **argv)
 
     std::printf("workload: %s (%s MPKI class), NM %lluGiB / FM 16GiB\n\n",
                 wl.name.c_str(), to_string(wl.cls).c_str(),
-                (unsigned long long)nmGib);
+                static_cast<unsigned long long>(nmGib));
     std::printf("%-10s %8s %8s %10s %10s %9s %11s\n", "design",
                 "speedup", "NM-serv", "FM-GiB", "NM-GiB", "energy",
                 "capacity");

@@ -98,7 +98,7 @@ main(int argc, char **argv)
 
     CsvTrace trace(path);
     std::printf("trace records : %llu (looped to 200k accesses)\n",
-                (unsigned long long)trace.size());
+                static_cast<unsigned long long>(trace.size()));
 
     Tick now = 0;
     const u64 accesses = 200'000;

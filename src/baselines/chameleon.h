@@ -20,8 +20,7 @@
  *    limitation for Hybrid2).
  */
 
-#ifndef H2_BASELINES_CHAMELEON_H
-#define H2_BASELINES_CHAMELEON_H
+#pragma once
 
 #include <unordered_map>
 
@@ -100,5 +99,3 @@ class Chameleon : public mem::HybridMemory
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_CHAMELEON_H

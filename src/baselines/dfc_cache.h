@@ -10,8 +10,7 @@
  * best DFC configuration uses 1 KB cache lines.
  */
 
-#ifndef H2_BASELINES_DFC_CACHE_H
-#define H2_BASELINES_DFC_CACHE_H
+#pragma once
 
 #include "baselines/ideal_cache.h"
 #include "baselines/remap_cache.h"
@@ -45,5 +44,3 @@ class DfcCache : public IdealCache
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_DFC_CACHE_H

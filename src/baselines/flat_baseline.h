@@ -4,8 +4,7 @@
  * Every result in the paper's evaluation is a speedup over this design.
  */
 
-#ifndef H2_BASELINES_FLAT_BASELINE_H
-#define H2_BASELINES_FLAT_BASELINE_H
+#pragma once
 
 #include "mem/hybrid_memory.h"
 
@@ -22,5 +21,3 @@ class FlatBaseline : public mem::HybridMemory
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_FLAT_BASELINE_H

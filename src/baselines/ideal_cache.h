@@ -10,8 +10,7 @@
  * data vs. line size).
  */
 
-#ifndef H2_BASELINES_IDEAL_CACHE_H
-#define H2_BASELINES_IDEAL_CACHE_H
+#pragma once
 
 #include <unordered_map>
 
@@ -78,5 +77,3 @@ class IdealCache : public mem::HybridMemory
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_IDEAL_CACHE_H

@@ -11,8 +11,7 @@
  * are written back to the segment's new home on LLC eviction.
  */
 
-#ifndef H2_BASELINES_LGM_H
-#define H2_BASELINES_LGM_H
+#pragma once
 
 #include <unordered_map>
 
@@ -74,5 +73,3 @@ class Lgm : public mem::HybridMemory
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_LGM_H

@@ -4,8 +4,7 @@
  * as used by MemPod to identify hot 2 KB segments within an interval.
  */
 
-#ifndef H2_BASELINES_MEA_H
-#define H2_BASELINES_MEA_H
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -40,5 +39,3 @@ class Mea
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_MEA_H

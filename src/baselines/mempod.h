@@ -12,8 +12,7 @@
  * Paper configuration (section 5): 64 MEA counters, 50 us intervals.
  */
 
-#ifndef H2_BASELINES_MEMPOD_H
-#define H2_BASELINES_MEMPOD_H
+#pragma once
 
 #include <unordered_map>
 #include <unordered_set>
@@ -82,5 +81,3 @@ class MemPod : public mem::HybridMemory
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_MEMPOD_H

@@ -8,8 +8,7 @@
  * for a fair comparison.
  */
 
-#ifndef H2_BASELINES_REMAP_CACHE_H
-#define H2_BASELINES_REMAP_CACHE_H
+#pragma once
 
 #include "cache/set_assoc_cache.h"
 #include "common/types.h"
@@ -45,5 +44,3 @@ class RemapCache
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_REMAP_CACHE_H

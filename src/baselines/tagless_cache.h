@@ -11,8 +11,7 @@
  * workloads with poor spatial locality.
  */
 
-#ifndef H2_BASELINES_TAGLESS_CACHE_H
-#define H2_BASELINES_TAGLESS_CACHE_H
+#pragma once
 
 #include "baselines/ideal_cache.h"
 
@@ -25,5 +24,3 @@ class TaglessCache : public IdealCache
 };
 
 } // namespace h2::baselines
-
-#endif // H2_BASELINES_TAGLESS_CACHE_H

@@ -9,8 +9,7 @@
  * latencies feed the interval core model.
  */
 
-#ifndef H2_CACHE_CACHE_HIERARCHY_H
-#define H2_CACHE_CACHE_HIERARCHY_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -93,5 +92,3 @@ class CacheHierarchy
 };
 
 } // namespace h2::cache
-
-#endif // H2_CACHE_CACHE_HIERARCHY_H

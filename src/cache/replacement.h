@@ -3,8 +3,7 @@
  * Replacement policies for set-associative structures.
  */
 
-#ifndef H2_CACHE_REPLACEMENT_H
-#define H2_CACHE_REPLACEMENT_H
+#pragma once
 
 #include <string>
 
@@ -33,5 +32,3 @@ u32 selectVictim(ReplPolicy policy, const u64 *stamps, const bool *valids,
                  u32 ways, u64 tiebreak);
 
 } // namespace h2::cache
-
-#endif // H2_CACHE_REPLACEMENT_H

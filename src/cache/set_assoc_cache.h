@@ -7,8 +7,7 @@
  * presence/dirtiness, not data values.
  */
 
-#ifndef H2_CACHE_SET_ASSOC_CACHE_H
-#define H2_CACHE_SET_ASSOC_CACHE_H
+#pragma once
 
 #include <optional>
 #include <string>
@@ -117,5 +116,3 @@ class SetAssocCache
 };
 
 } // namespace h2::cache
-
-#endif // H2_CACHE_SET_ASSOC_CACHE_H

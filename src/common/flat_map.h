@@ -12,8 +12,7 @@
  * sectors/locations, which are always far below 2^64 - 1.
  */
 
-#ifndef H2_COMMON_FLAT_MAP_H
-#define H2_COMMON_FLAT_MAP_H
+#pragma once
 
 #include <algorithm>
 #include <vector>
@@ -124,5 +123,3 @@ class FlatMap64
 };
 
 } // namespace h2
-
-#endif // H2_COMMON_FLAT_MAP_H

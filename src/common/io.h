@@ -9,8 +9,7 @@
  * artifact that still parses as valid JSON/CSV/trace.
  */
 
-#ifndef H2_COMMON_IO_H
-#define H2_COMMON_IO_H
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -34,5 +33,3 @@ extern bool crashBeforeRenameForTest;
 
 } // namespace detail
 } // namespace h2
-
-#endif // H2_COMMON_IO_H

@@ -15,8 +15,7 @@
  *   std::string text = w.str();
  */
 
-#ifndef H2_COMMON_JSON_H
-#define H2_COMMON_JSON_H
+#pragma once
 
 #include <optional>
 #include <string>
@@ -138,5 +137,3 @@ std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string *error);
 
 } // namespace h2
-
-#endif // H2_COMMON_JSON_H

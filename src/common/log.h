@@ -12,8 +12,7 @@
  * inform() - plain status output.
  */
 
-#ifndef H2_COMMON_LOG_H
-#define H2_COMMON_LOG_H
+#pragma once
 
 #include <sstream>
 #include <stdexcept>
@@ -94,5 +93,3 @@ bool logQuiet();
         if (!(cond)) \
             h2_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
     } while (0)
-
-#endif // H2_COMMON_LOG_H

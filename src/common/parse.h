@@ -6,8 +6,7 @@
  * bench option parser and the h2sim CLI.
  */
 
-#ifndef H2_COMMON_PARSE_H
-#define H2_COMMON_PARSE_H
+#pragma once
 
 #include <charconv>
 #include <string_view>
@@ -114,5 +113,3 @@ parseFloatOrFatal(std::string_view what, std::string_view value)
 }
 
 } // namespace h2
-
-#endif // H2_COMMON_PARSE_H

@@ -6,8 +6,7 @@
  * flows through these generators so runs are reproducible from a seed.
  */
 
-#ifndef H2_COMMON_RNG_H
-#define H2_COMMON_RNG_H
+#pragma once
 
 #include <cmath>
 
@@ -149,5 +148,3 @@ class RandomPermutation
 };
 
 } // namespace h2
-
-#endif // H2_COMMON_RNG_H

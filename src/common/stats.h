@@ -4,8 +4,7 @@
  * aggregate math (geometric means) used throughout the evaluation.
  */
 
-#ifndef H2_COMMON_STATS_H
-#define H2_COMMON_STATS_H
+#pragma once
 
 #include <map>
 #include <string>
@@ -101,5 +100,3 @@ class StatSet
 };
 
 } // namespace h2
-
-#endif // H2_COMMON_STATS_H

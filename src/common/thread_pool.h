@@ -13,8 +13,7 @@
  * them and record an outcome themselves (the sweep runner does).
  */
 
-#ifndef H2_COMMON_THREAD_POOL_H
-#define H2_COMMON_THREAD_POOL_H
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -72,5 +71,3 @@ class ThreadPool
 };
 
 } // namespace h2
-
-#endif // H2_COMMON_THREAD_POOL_H

@@ -3,8 +3,7 @@
  * Fundamental scalar types shared across the Hybrid2 simulator.
  */
 
-#ifndef H2_COMMON_TYPES_H
-#define H2_COMMON_TYPES_H
+#pragma once
 
 #include <cstdint>
 
@@ -61,5 +60,3 @@ floorLog2(u64 v)
 }
 
 } // namespace h2
-
-#endif // H2_COMMON_TYPES_H

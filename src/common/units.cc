@@ -10,19 +10,20 @@ formatBytes(u64 bytes)
     char buf[32];
     if (bytes >= GiB && bytes % GiB == 0)
         std::snprintf(buf, sizeof(buf), "%lluGiB",
-                      (unsigned long long)(bytes / GiB));
+                      static_cast<unsigned long long>(bytes / GiB));
     else if (bytes >= GiB)
-        std::snprintf(buf, sizeof(buf), "%.2fGiB", (double)bytes / GiB);
+        std::snprintf(buf, sizeof(buf), "%.2fGiB", double(bytes) / double(GiB));
     else if (bytes >= MiB && bytes % MiB == 0)
         std::snprintf(buf, sizeof(buf), "%lluMiB",
-                      (unsigned long long)(bytes / MiB));
+                      static_cast<unsigned long long>(bytes / MiB));
     else if (bytes >= MiB)
-        std::snprintf(buf, sizeof(buf), "%.2fMiB", (double)bytes / MiB);
+        std::snprintf(buf, sizeof(buf), "%.2fMiB", double(bytes) / double(MiB));
     else if (bytes >= KiB)
         std::snprintf(buf, sizeof(buf), "%lluKiB",
-                      (unsigned long long)(bytes / KiB));
+                      static_cast<unsigned long long>(bytes / KiB));
     else
-        std::snprintf(buf, sizeof(buf), "%lluB", (unsigned long long)bytes);
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
     return buf;
 }
 
@@ -31,13 +32,14 @@ formatTime(Tick ps)
 {
     char buf[32];
     if (ps >= psPerMs)
-        std::snprintf(buf, sizeof(buf), "%.2fms", (double)ps / psPerMs);
+        std::snprintf(buf, sizeof(buf), "%.2fms", double(ps) / double(psPerMs));
     else if (ps >= psPerUs)
-        std::snprintf(buf, sizeof(buf), "%.2fus", (double)ps / psPerUs);
+        std::snprintf(buf, sizeof(buf), "%.2fus", double(ps) / double(psPerUs));
     else if (ps >= psPerNs)
-        std::snprintf(buf, sizeof(buf), "%.2fns", (double)ps / psPerNs);
+        std::snprintf(buf, sizeof(buf), "%.2fns", double(ps) / double(psPerNs));
     else
-        std::snprintf(buf, sizeof(buf), "%llups", (unsigned long long)ps);
+        std::snprintf(buf, sizeof(buf), "%llups",
+                      static_cast<unsigned long long>(ps));
     return buf;
 }
 

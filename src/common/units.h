@@ -3,8 +3,7 @@
  * Size/time unit helpers and human-readable formatting.
  */
 
-#ifndef H2_COMMON_UNITS_H
-#define H2_COMMON_UNITS_H
+#pragma once
 
 #include <string>
 
@@ -36,5 +35,3 @@ std::string formatBytes(u64 bytes);
 std::string formatTime(Tick ps);
 
 } // namespace h2
-
-#endif // H2_COMMON_UNITS_H

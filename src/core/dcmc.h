@@ -20,8 +20,7 @@
  * XTA's NM pointers.
  */
 
-#ifndef H2_CORE_DCMC_H
-#define H2_CORE_DCMC_H
+#pragma once
 
 #include <string>
 
@@ -177,5 +176,3 @@ class Dcmc : public mem::HybridMemory
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_DCMC_H

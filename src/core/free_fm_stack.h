@@ -9,8 +9,7 @@
  * stack depth is bounded by the number of sectors the DRAM cache holds.
  */
 
-#ifndef H2_CORE_FREE_FM_STACK_H
-#define H2_CORE_FREE_FM_STACK_H
+#pragma once
 
 #include <utility>
 #include <vector>
@@ -55,5 +54,3 @@ class FreeFmStack
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_FREE_FM_STACK_H

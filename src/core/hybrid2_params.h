@@ -3,8 +3,7 @@
  * Configuration of the Hybrid2 DRAM Cache Migration Controller (DCMC).
  */
 
-#ifndef H2_CORE_HYBRID2_PARAMS_H
-#define H2_CORE_HYBRID2_PARAMS_H
+#pragma once
 
 #include "common/types.h"
 #include "common/units.h"
@@ -54,5 +53,3 @@ struct Hybrid2Params
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_HYBRID2_PARAMS_H

@@ -9,8 +9,7 @@
  * that scales migration aggressiveness with demand FM traffic.
  */
 
-#ifndef H2_CORE_MIGRATION_POLICY_H
-#define H2_CORE_MIGRATION_POLICY_H
+#pragma once
 
 #include "common/types.h"
 #include "core/xta.h"
@@ -70,5 +69,3 @@ class MigrationPolicy
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_MIGRATION_POLICY_H

@@ -11,8 +11,7 @@
  * remap table + XTA probe) sectors pinned by the DRAM cache.
  */
 
-#ifndef H2_CORE_NM_ALLOCATOR_H
-#define H2_CORE_NM_ALLOCATOR_H
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -73,5 +72,3 @@ class NmAllocator
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_NM_ALLOCATOR_H

@@ -30,7 +30,7 @@ RemapTable::update(u64 flatSector, Loc loc)
 {
     h2_assert(flatSector < nFlat, "remap update out of range");
     if (loc.inNm)
-        h2_assert(loc.idx >= 0 && loc.idx < nCache + nNmFlat,
+        h2_assert(loc.idx < nCache + nNmFlat,
                   "remap to bad NM location ", loc.idx);
     else
         h2_assert(loc.idx < nFm, "remap to bad FM location ", loc.idx);

@@ -14,8 +14,7 @@
  * start as the DRAM cache's boot data region and hold no flat sector.
  */
 
-#ifndef H2_CORE_REMAP_TABLE_H
-#define H2_CORE_REMAP_TABLE_H
+#pragma once
 
 #include <optional>
 
@@ -85,5 +84,3 @@ class RemapTable
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_REMAP_TABLE_H

@@ -17,8 +17,7 @@
  * exotic geometries, where it slightly shrinks capacitySectors().
  */
 
-#ifndef H2_CORE_XTA_H
-#define H2_CORE_XTA_H
+#pragma once
 
 #include <vector>
 
@@ -134,5 +133,3 @@ class Xta
 };
 
 } // namespace h2::core
-
-#endif // H2_CORE_XTA_H

@@ -10,8 +10,7 @@
  * (pJ/bit moved) and per activation (ACT/PRE) with Table 1 constants.
  */
 
-#ifndef H2_DRAM_DRAM_DEVICE_H
-#define H2_DRAM_DRAM_DEVICE_H
+#pragma once
 
 #include <vector>
 
@@ -230,5 +229,3 @@ class DramDevice
 };
 
 } // namespace h2::dram
-
-#endif // H2_DRAM_DRAM_DEVICE_H

@@ -3,8 +3,7 @@
  * DRAM device timing/energy parameters with the paper's Table 1 presets.
  */
 
-#ifndef H2_DRAM_DRAM_PARAMS_H
-#define H2_DRAM_DRAM_PARAMS_H
+#pragma once
 
 #include <string>
 
@@ -51,5 +50,3 @@ struct DramParams
 };
 
 } // namespace h2::dram
-
-#endif // H2_DRAM_DRAM_PARAMS_H

@@ -8,8 +8,7 @@
  * NM/FM DRAM devices.
  */
 
-#ifndef H2_MEM_HYBRID_MEMORY_H
-#define H2_MEM_HYBRID_MEMORY_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -274,5 +273,3 @@ class HybridMemory
 inline constexpr u32 llcLineBytes = 64;
 
 } // namespace h2::mem
-
-#endif // H2_MEM_HYBRID_MEMORY_H

@@ -43,8 +43,7 @@
  * row-hit bypass counts.
  */
 
-#ifndef H2_MEM_MEM_CONTROLLER_H
-#define H2_MEM_MEM_CONTROLLER_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -199,5 +198,3 @@ class MemController
 };
 
 } // namespace h2::mem
-
-#endif // H2_MEM_MEM_CONTROLLER_H

@@ -24,8 +24,7 @@
  * right time, just not on this request's path.
  */
 
-#ifndef H2_MEM_TIMELINE_H
-#define H2_MEM_TIMELINE_H
+#pragma once
 
 #include "common/types.h"
 
@@ -98,5 +97,3 @@ class Timeline
 };
 
 } // namespace h2::mem
-
-#endif // H2_MEM_TIMELINE_H

@@ -14,8 +14,7 @@
  * physical space, so placement is random but collision-free.
  */
 
-#ifndef H2_SIM_CORE_MODEL_H
-#define H2_SIM_CORE_MODEL_H
+#pragma once
 
 #include <deque>
 
@@ -103,5 +102,3 @@ class CoreModel
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_CORE_MODEL_H

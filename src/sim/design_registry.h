@@ -16,8 +16,7 @@
  * no locking.
  */
 
-#ifndef H2_SIM_DESIGN_REGISTRY_H
-#define H2_SIM_DESIGN_REGISTRY_H
+#pragma once
 
 #include <map>
 #include <memory>
@@ -100,5 +99,3 @@ struct DesignRegistrar
     }
 
 } // namespace h2::sim
-
-#endif // H2_SIM_DESIGN_REGISTRY_H

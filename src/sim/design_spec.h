@@ -19,8 +19,7 @@
  * "dfc:line=1024") compare and memoize as one design.
  */
 
-#ifndef H2_SIM_DESIGN_SPEC_H
-#define H2_SIM_DESIGN_SPEC_H
+#pragma once
 
 #include <map>
 #include <optional>
@@ -148,5 +147,3 @@ struct DesignSpecParseResult
 std::string canonicalDesignSpec(const std::string &spec);
 
 } // namespace h2::sim
-
-#endif // H2_SIM_DESIGN_SPEC_H

@@ -34,8 +34,7 @@
  * reported with its line number before anything runs.
  */
 
-#ifndef H2_SIM_EXPERIMENT_H
-#define H2_SIM_EXPERIMENT_H
+#pragma once
 
 #include <optional>
 #include <string>
@@ -113,5 +112,3 @@ std::vector<RunRecord> runExperiment(const ExperimentSpec &spec,
                                      u32 jobsOverride = 0);
 
 } // namespace h2::sim
-
-#endif // H2_SIM_EXPERIMENT_H

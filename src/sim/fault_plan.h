@@ -22,8 +22,7 @@
  * themselves contain ':').
  */
 
-#ifndef H2_SIM_FAULT_PLAN_H
-#define H2_SIM_FAULT_PLAN_H
+#pragma once
 
 #include <map>
 #include <optional>
@@ -63,5 +62,3 @@ struct FaultPlan
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_FAULT_PLAN_H

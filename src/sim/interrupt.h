@@ -10,8 +10,7 @@
  * wedged process can still be killed interactively.
  */
 
-#ifndef H2_SIM_INTERRUPT_H
-#define H2_SIM_INTERRUPT_H
+#pragma once
 
 namespace h2::sim {
 
@@ -31,5 +30,3 @@ void requestInterrupt();
 void clearInterruptForTest();
 
 } // namespace h2::sim
-
-#endif // H2_SIM_INTERRUPT_H

@@ -3,8 +3,7 @@
  * Per-run metrics extracted for the paper's evaluation figures.
  */
 
-#ifndef H2_SIM_METRICS_H
-#define H2_SIM_METRICS_H
+#pragma once
 
 #include <optional>
 #include <string>
@@ -72,5 +71,3 @@ struct Metrics
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_METRICS_H

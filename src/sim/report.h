@@ -5,8 +5,7 @@
  * --format/--out options and the experiment driver.
  */
 
-#ifndef H2_SIM_REPORT_H
-#define H2_SIM_REPORT_H
+#pragma once
 
 #include <optional>
 #include <string>
@@ -37,5 +36,3 @@ std::string renderReport(const RunConfig &config,
 void writeReport(const std::string &rendered, const std::string &path);
 
 } // namespace h2::sim
-
-#endif // H2_SIM_REPORT_H

@@ -24,8 +24,7 @@
  * record wins.
  */
 
-#ifndef H2_SIM_RESULT_JOURNAL_H
-#define H2_SIM_RESULT_JOURNAL_H
+#pragma once
 
 #include <cstdio>
 #include <map>
@@ -77,5 +76,3 @@ class ResultJournal
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_RESULT_JOURNAL_H

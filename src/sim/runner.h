@@ -9,8 +9,7 @@
  * registry (`h2sim --list-designs`, DesignRegistry::grammarHelp()).
  */
 
-#ifndef H2_SIM_RUNNER_H
-#define H2_SIM_RUNNER_H
+#pragma once
 
 #include <map>
 #include <memory>
@@ -125,5 +124,3 @@ class Runner
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_RUNNER_H

@@ -3,8 +3,7 @@
  * System configuration presets (paper Table 1).
  */
 
-#ifndef H2_SIM_SIM_CONFIG_H
-#define H2_SIM_SIM_CONFIG_H
+#pragma once
 
 #include <string>
 
@@ -55,5 +54,3 @@ std::string validateSystemConfig(const SystemConfig &cfg);
 std::string describeConfig(const SystemConfig &cfg);
 
 } // namespace h2::sim
-
-#endif // H2_SIM_SIM_CONFIG_H

@@ -23,8 +23,7 @@
  * (a --resume run re-simulates them) and never retried.
  */
 
-#ifndef H2_SIM_SWEEP_RUNNER_H
-#define H2_SIM_SWEEP_RUNNER_H
+#pragma once
 
 #include <condition_variable>
 #include <map>
@@ -144,5 +143,3 @@ class SweepRunner
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_SWEEP_RUNNER_H

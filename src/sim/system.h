@@ -4,8 +4,7 @@
  * under test, with global-time interleaving across cores.
  */
 
-#ifndef H2_SIM_SYSTEM_H
-#define H2_SIM_SYSTEM_H
+#pragma once
 
 #include <chrono>
 #include <functional>
@@ -101,5 +100,3 @@ class System
 };
 
 } // namespace h2::sim
-
-#endif // H2_SIM_SYSTEM_H

@@ -10,8 +10,7 @@
  * in expectation.
  */
 
-#ifndef H2_WORKLOADS_GENERATORS_H
-#define H2_WORKLOADS_GENERATORS_H
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -213,5 +212,3 @@ class MixSource final : public TraceSource
 };
 
 } // namespace h2::workloads
-
-#endif // H2_WORKLOADS_GENERATORS_H

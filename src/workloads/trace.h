@@ -11,8 +11,7 @@
  * (`mix:` specs, workloads/workload_spec.h).
  */
 
-#ifndef H2_WORKLOADS_TRACE_H
-#define H2_WORKLOADS_TRACE_H
+#pragma once
 
 #include "common/types.h"
 
@@ -37,5 +36,3 @@ class TraceSource
 };
 
 } // namespace h2::workloads
-
-#endif // H2_WORKLOADS_TRACE_H

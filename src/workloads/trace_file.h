@@ -42,8 +42,7 @@
  * 0x89 byte that no text trace can begin with.
  */
 
-#ifndef H2_WORKLOADS_TRACE_FILE_H
-#define H2_WORKLOADS_TRACE_FILE_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -120,5 +119,3 @@ class FileTraceSource final : public TraceSource
 };
 
 } // namespace h2::workloads
-
-#endif // H2_WORKLOADS_TRACE_FILE_H

@@ -10,8 +10,7 @@
  * hot/cold reuse, ...). DESIGN.md documents the substitution.
  */
 
-#ifndef H2_WORKLOADS_WORKLOAD_REGISTRY_H
-#define H2_WORKLOADS_WORKLOAD_REGISTRY_H
+#pragma once
 
 #include <memory>
 #include <string>
@@ -110,5 +109,3 @@ const Workload &findWorkload(const std::string &name);
 std::vector<Workload> quickSuite();
 
 } // namespace h2::workloads
-
-#endif // H2_WORKLOADS_WORKLOAD_REGISTRY_H

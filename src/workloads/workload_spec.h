@@ -19,8 +19,7 @@
  * message before any simulation starts.
  */
 
-#ifndef H2_WORKLOADS_WORKLOAD_SPEC_H
-#define H2_WORKLOADS_WORKLOAD_SPEC_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -58,5 +57,3 @@ Workload mixWorkload(std::vector<Workload> parts, u32 leadWeight);
 const char *workloadSpecGrammarHelp();
 
 } // namespace h2::workloads
-
-#endif // H2_WORKLOADS_WORKLOAD_SPEC_H

@@ -1,0 +1,25 @@
+// h2lint fixture: R1 must flag every direct device access below when
+// this file is linted under a src/ (non-mem/) logical path.
+#include "dram/dram_device.h"
+
+namespace h2::mem {
+
+struct FakeDesign
+{
+    dram::DramDevice *dev;
+
+    void
+    touch()
+    {
+        nm->access(0, AccessType::Read, 0);          // line 14: R1
+        fm->post(64, 64, 0);                         // line 15: R1
+        dev->access(128, AccessType::Write, 0);      // line 16: R1
+        fmDevice().access(0, AccessType::Read, 0);   // line 17: R1
+    }
+
+    dram::DramDevice &fmDevice();
+    dram::DramDevice *nm;
+    dram::DramDevice *fm;
+};
+
+} // namespace h2::mem

@@ -1,0 +1,19 @@
+// h2lint fixture: a deliberate direct device access, silenced by the
+// inline suppression comment.
+#include "dram/dram_device.h"
+
+namespace h2::mem {
+
+struct SuppressedDesign
+{
+    dram::DramDevice *nm;
+
+    void
+    touch()
+    {
+        // White-box probe; bypassing the controller is the point here.
+        nm->access(0, AccessType::Read, 0); // h2lint: allow(R1)
+    }
+};
+
+} // namespace h2::mem

@@ -1,0 +1,35 @@
+// h2lint fixture: R2 must flag every banned call below.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+namespace h2 {
+
+unsigned long
+parseIt(const std::string &s)
+{
+    return std::stoul(s);                       // line 13: R2 (sto*)
+}
+
+int
+noise()
+{
+    std::srand(std::time(nullptr));             // line 19: R2 x2
+    return rand();                              // line 20: R2
+}
+
+char *
+firstField(char *s)
+{
+    return std::strtok(s, ",");                 // line 26: R2
+}
+
+void
+report(double v)
+{
+    std::printf("value=%f\n", v);               // line 32: R2 (printf)
+}
+
+} // namespace h2

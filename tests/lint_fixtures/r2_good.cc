@@ -1,0 +1,40 @@
+// h2lint fixture: R2 must stay silent — sanctioned replacements and
+// lookalike identifiers that word-boundary / member checks must not
+// trip on. Mentions of std::stoul or rand() in comments are fine too.
+#include <chrono>
+#include <string>
+
+#include "common/parse.h"
+#include "common/rng.h"
+
+namespace h2 {
+
+struct SystemClock; // opaque: has a time() member defined elsewhere
+double memberTime(const SystemClock &c);
+
+u64
+parseIt(std::string_view s)
+{
+    return parseU64OrFatal("fixture", s);
+}
+
+u64
+noise(u64 seed)
+{
+    Rng rng(seed);
+    return rng.next();
+}
+
+double
+elapsed(const SystemClock &c)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return c.time() + memberTime(c); // member access: fine
+}
+
+int my_rand() { return 4; }               // identifier tail: fine
+int stranded(int x) { return x; }         // "strand" != strtok/rand
+const char *timestamp();                  // "time..." identifier: fine
+
+} // namespace h2

@@ -1,0 +1,21 @@
+// h2lint fixture: banned calls silenced by line suppressions — one
+// trailing, one on the preceding line.
+#include <cstdlib>
+#include <string>
+
+namespace h2 {
+
+unsigned long
+parseIt(const std::string &s)
+{
+    return std::stoul(s); // h2lint: allow(R2)
+}
+
+int
+noise()
+{
+    // This fixture pins the preceding-line form. h2lint: allow(R2)
+    return rand();
+}
+
+} // namespace h2

@@ -1,0 +1,15 @@
+// h2lint fixture: a header with all three hygiene violations — no
+// #pragma once, namespace-scope using-directive, <iostream> include.
+#include <iostream>
+
+using namespace std;
+
+namespace h2 {
+
+inline void
+shout()
+{
+    cout << "loud\n";
+}
+
+} // namespace h2

@@ -1,0 +1,22 @@
+// h2lint fixture: a hygienic header — R5 must stay silent. The string
+// below mentioning "#include <iostream>" must not count.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace h2 {
+
+inline std::string
+docString()
+{
+    return "put #include <iostream> only in a .cc";
+}
+
+inline void
+print(std::ostream &os)
+{
+    os << docString();
+}
+
+} // namespace h2

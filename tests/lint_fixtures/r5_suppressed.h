@@ -1,0 +1,12 @@
+// h2lint fixture: missing #pragma once, silenced file-wide.
+// h2lint: allow-file(R5)
+
+namespace h2 {
+
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace h2

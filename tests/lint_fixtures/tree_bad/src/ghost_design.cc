@@ -1,0 +1,20 @@
+// Mini-repo fixture: every cross-file violation at once — registered
+// design without golden snapshots or a README row, an undocumented
+// stats key, and an uncheckable (non-literal) key.
+#include "sim/design_registry.h"
+
+namespace h2::sim {
+
+class GhostDesign
+{
+    void
+    collectStats(StatSet &out, const std::string &dynamicName) const
+    {
+        out.add("ghost.undocumented", 1.0);  // line 13: R4
+        out.add(dynamicName, 2.0);           // line 14: R4 (unverifiable)
+    }
+};
+
+} // namespace h2::sim
+
+H2_REGISTER_DESIGN(ghost, makeGhostInfo()) // line 20: R3 x2

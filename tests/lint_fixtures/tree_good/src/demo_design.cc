@@ -1,0 +1,21 @@
+// Mini-repo fixture: a registered design with golden coverage, a
+// README table row, and fully documented stats keys. lintTree over
+// this root must report nothing.
+#include "sim/design_registry.h"
+
+namespace h2::sim {
+
+class DemoDesign
+{
+    void
+    collectStats(StatSet &out, const std::string &prefix) const
+    {
+        out.add("demo.hits", 1.0);
+        out.add("demo.misses", 2.0);
+        out.add(prefix + ".reads", 3.0);
+    }
+};
+
+} // namespace h2::sim
+
+H2_REGISTER_DESIGN(demo, makeDemoInfo())

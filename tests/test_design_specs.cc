@@ -85,8 +85,8 @@ TEST_P(DesignSpecSmoke, Serves1kAccessesWithInvariantsHeld)
 
 INSTANTIATE_TEST_SUITE_P(
     Grammar, DesignSpecSmoke, ::testing::ValuesIn(documentedSpecs()),
-    [](const auto &info) {
-        std::string name = info.param;
+    [](const auto &paramInfo) {
+        std::string name = paramInfo.param;
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -87,8 +87,8 @@ TEST_P(Determinism, DifferentSeedDiffers)
 
 INSTANTIATE_TEST_SUITE_P(Designs, Determinism,
                          ::testing::Values("hybrid2", "baseline"),
-                         [](const auto &info) {
-                             return std::string(info.param);
+                         [](const auto &paramInfo) {
+                             return std::string(paramInfo.param);
                          });
 
 } // namespace

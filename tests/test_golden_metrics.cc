@@ -187,6 +187,19 @@ TEST(GoldenMetrics, Hybrid2Mix)
     checkGolden("hybrid2", "mix:mcf+xalanc:2");
 }
 
+// One leg per remaining registered design: h2lint's R3 requires every
+// H2_REGISTER_DESIGN to carry at least one snapshot, so a design whose
+// behaviour silently drifts — or whose registration is added without
+// regression coverage — fails the tree lint, not just code review.
+// lbm (streaming, high MPKI) exercises eviction/migration machinery in
+// all of them within the small golden budget.
+
+TEST(GoldenMetrics, ChameleonLbm) { checkGolden("chameleon", "lbm"); }
+TEST(GoldenMetrics, IdealLbm) { checkGolden("ideal", "lbm"); }
+TEST(GoldenMetrics, TaglessLbm) { checkGolden("tagless", "lbm"); }
+TEST(GoldenMetrics, LgmLbm) { checkGolden("lgm", "lbm"); }
+TEST(GoldenMetrics, MempodLbm) { checkGolden("mempod", "lbm"); }
+
 // queue=off legs: pin the pre-queue analytic dispatch model so the
 // `queue off` escape hatch stays bit-compatible with the metrics the
 // earlier analytic-only simulator produced. One leg per structural

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * h2lint's own test suite, driven by the fixture files under
+ * tests/lint_fixtures/: every rule has at least one must-flag and one
+ * must-pass fixture plus a suppression fixture, the two mini-repo
+ * trees pin the cross-file rules (R3/R4) in both directions, and the
+ * exit-code contract of the installed binary (0 clean / 1 findings /
+ * 2 usage error) is pinned by spawning it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+#ifndef H2_LINT_FIXTURE_DIR
+#error "H2_LINT_FIXTURE_DIR must point at tests/lint_fixtures"
+#endif
+#ifndef H2_LINT_BIN
+#error "H2_LINT_BIN must point at the h2lint executable"
+#endif
+
+namespace h2::lint {
+namespace {
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(H2_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string
+readFixture(const std::string &name)
+{
+    std::ifstream in(fixturePath(name), std::ios::binary);
+    EXPECT_TRUE(in) << "missing fixture " << name;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Lint one fixture under a logical repo path (rule applicability is
+ *  path-derived). */
+std::vector<Finding>
+lintFixture(const std::string &name, const std::string &asPath)
+{
+    return lintFileContents(asPath, readFixture(name), Options{});
+}
+
+std::vector<int>
+linesOf(const std::vector<Finding> &fs, const std::string &rule)
+{
+    std::vector<int> lines;
+    for (const Finding &f : fs)
+        if (f.rule == rule)
+            lines.push_back(f.line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+// ------------------------------------------------------------ lexer
+
+TEST(LintScrub, StripsCommentsAndStrings)
+{
+    auto sf = detail::scrub("int a; // rand()\n"
+                            "const char *s = \"rand()\";\n"
+                            "/* std::stoul */ int b;\n");
+    EXPECT_EQ(sf.code.find("rand"), std::string::npos);
+    EXPECT_EQ(sf.code.find("stoul"), std::string::npos);
+    // Strings survive in the keep-strings view, comments never do.
+    EXPECT_NE(sf.codeKeepStrings.find("\"rand()\""), std::string::npos);
+    EXPECT_EQ(sf.codeKeepStrings.find("stoul"), std::string::npos);
+    // Line structure is preserved.
+    EXPECT_EQ(std::count(sf.code.begin(), sf.code.end(), '\n'), 3);
+}
+
+TEST(LintScrub, DigitSeparatorIsNotACharLiteral)
+{
+    auto sf = detail::scrub("u64 n = 30'000;\nint rand();\n");
+    // A naive lexer eats everything after 30' as a char literal and
+    // hides the next line from the rules.
+    EXPECT_NE(sf.code.find("rand"), std::string::npos);
+}
+
+TEST(LintScrub, RawStringsAreStripped)
+{
+    auto sf = detail::scrub("auto re = R\"(rand\\()\" ;\nint x;\n");
+    EXPECT_EQ(sf.code.find("rand"), std::string::npos);
+    EXPECT_NE(sf.code.find("int x"), std::string::npos);
+}
+
+TEST(LintScrub, SuppressionsParse)
+{
+    auto sf = detail::scrub("int a; // h2lint: allow(R1, R2)\n"
+                            "int b;\n"
+                            "int c;\n"
+                            "// h2lint: allow-file(R5)\n");
+    EXPECT_TRUE(sf.suppressed("R1", 1));
+    EXPECT_TRUE(sf.suppressed("R2", 2)); // next line is covered
+    EXPECT_FALSE(sf.suppressed("R1", 3));
+    EXPECT_TRUE(sf.suppressed("R5", 999)); // file-wide
+    EXPECT_FALSE(sf.suppressed("R4", 1));
+}
+
+// --------------------------------------------------------------- R1
+
+TEST(LintR1, FlagsDirectDeviceCalls)
+{
+    auto fs = lintFixture("r1_bad.cc", "src/baselines/fake.cc");
+    EXPECT_EQ(linesOf(fs, "R1"), (std::vector<int>{14, 15, 16, 17}));
+}
+
+TEST(LintR1, PassesControllerSeamCode)
+{
+    auto fs = lintFixture("r1_good.cc", "src/baselines/good.cc");
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintR1, SuppressionSilences)
+{
+    auto fs = lintFixture("r1_suppressed.cc", "src/baselines/sup.cc");
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintR1, DoesNotApplyUnderMemOrDram)
+{
+    std::string text = readFixture("r1_bad.cc");
+    EXPECT_TRUE(
+        lintFileContents("src/mem/impl.cc", text, Options{}).empty());
+    EXPECT_TRUE(
+        lintFileContents("src/dram/impl.cc", text, Options{}).empty());
+    EXPECT_TRUE(
+        lintFileContents("tests/test_dram.cc", text, Options{}).empty());
+}
+
+// --------------------------------------------------------------- R2
+
+TEST(LintR2, FlagsBannedCalls)
+{
+    auto fs = lintFixture("r2_bad.cc", "src/common/fake.cc");
+    EXPECT_EQ(linesOf(fs, "R2"),
+              (std::vector<int>{13, 19, 19, 20, 26, 32}));
+    // Each diagnostic names a sanctioned replacement.
+    for (const Finding &f : fs)
+        EXPECT_TRUE(f.message.find("common/") != std::string::npos ||
+                    f.message.find("std::chrono") != std::string::npos)
+            << formatFinding(f);
+}
+
+TEST(LintR2, PassesSanctionedCode)
+{
+    auto fs = lintFixture("r2_good.cc", "src/common/good.cc");
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintR2, SuppressionSilencesTrailingAndPreceding)
+{
+    auto fs = lintFixture("r2_suppressed.cc", "src/common/sup.cc");
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintR2, PrintfAllowedInMainAndBench)
+{
+    std::string text = readFixture("r2_bad.cc");
+    auto inMain = lintFileContents("src/main.cc", text, Options{});
+    auto inBench = lintFileContents("bench/fig99.cc", text, Options{});
+    for (const auto &fs : {inMain, inBench})
+        for (const Finding &f : fs)
+            EXPECT_EQ(f.message.find("printf"), std::string::npos)
+                << formatFinding(f);
+    // ...but the other bans still apply there.
+    EXPECT_FALSE(inMain.empty());
+}
+
+// --------------------------------------------------------------- R5
+
+TEST(LintR5, FlagsAllThreeHygieneViolations)
+{
+    auto fs = lintFixture("r5_bad.h", "src/common/bad.h");
+    ASSERT_EQ(fs.size(), 3u);
+    EXPECT_EQ(fs[0].rule, "R5");
+    EXPECT_EQ(fs[0].line, 1); // missing #pragma once anchors at line 1
+    std::set<std::string> gists;
+    for (const Finding &f : fs)
+        gists.insert(f.message.substr(0, f.message.find(' ')));
+    EXPECT_EQ(gists.size(), 3u) << "three distinct R5 diagnostics";
+}
+
+TEST(LintR5, PassesHygienicHeader)
+{
+    auto fs = lintFixture("r5_good.h", "src/common/good.h");
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintR5, AllowFileSilencesWholeFile)
+{
+    auto fs = lintFixture("r5_suppressed.h", "src/common/sup.h");
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintR5, DoesNotApplyToSources)
+{
+    auto fs = lintFixture("r5_bad.h", "src/common/not_a_header.cc");
+    EXPECT_TRUE(linesOf(fs, "R5").empty());
+}
+
+// --------------------------------------------------- R3/R4 tree mode
+
+TEST(LintTree, GoodTreeIsClean)
+{
+    Options opt;
+    opt.root = fixturePath("tree_good");
+    std::string error;
+    auto fs = lintTree(opt, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(fs.empty()) << formatFinding(fs.front());
+}
+
+TEST(LintTree, BadTreeReportsEveryCrossFileViolation)
+{
+    Options opt;
+    opt.root = fixturePath("tree_bad");
+    std::string error;
+    auto fs = lintTree(opt, &error);
+    EXPECT_TRUE(error.empty()) << error;
+
+    // R3: missing golden + missing README row, anchored at the
+    // registration.
+    auto r3 = linesOf(fs, "R3");
+    EXPECT_EQ(r3, (std::vector<int>{20, 20}));
+
+    // R4: undocumented key (line 13), unverifiable key (line 14), and
+    // the dead manifest row.
+    bool undocumented = false, unverifiable = false, dead = false;
+    for (const Finding &f : fs) {
+        if (f.rule != "R4")
+            continue;
+        if (f.file == "src/ghost_design.cc" && f.line == 13)
+            undocumented = true;
+        if (f.file == "src/ghost_design.cc" && f.line == 14)
+            unverifiable = true;
+        if (f.file == "docs/metrics.md" &&
+            f.message.find("dead.key") != std::string::npos)
+            dead = true;
+    }
+    EXPECT_TRUE(undocumented);
+    EXPECT_TRUE(unverifiable);
+    EXPECT_TRUE(dead);
+}
+
+TEST(LintTree, RuleFilterRestrictsFindings)
+{
+    Options opt;
+    opt.root = fixturePath("tree_bad");
+    opt.rules = {"R3"};
+    std::string error;
+    auto fs = lintTree(opt, &error);
+    for (const Finding &f : fs)
+        EXPECT_EQ(f.rule, "R3") << formatFinding(f);
+    EXPECT_FALSE(fs.empty());
+}
+
+TEST(LintTree, BadRootSetsError)
+{
+    Options opt;
+    opt.root = fixturePath("no_such_dir");
+    std::string error;
+    auto fs = lintTree(opt, &error);
+    EXPECT_TRUE(fs.empty());
+    EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------- exit codes
+
+int
+runLint(const std::string &args)
+{
+    std::string cmd = std::string(H2_LINT_BIN) + " " + args +
+                      " > /dev/null 2> /dev/null";
+    int rc = std::system(cmd.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(LintExitCodes, CleanTreeExitsZero)
+{
+    EXPECT_EQ(runLint("--root " + fixturePath("tree_good")), 0);
+}
+
+TEST(LintExitCodes, FindingsExitOne)
+{
+    EXPECT_EQ(runLint("--root " + fixturePath("tree_bad")), 1);
+    EXPECT_EQ(runLint(fixturePath("r2_bad.cc")), 1);
+}
+
+TEST(LintExitCodes, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runLint("--no-such-flag"), 2);
+    EXPECT_EQ(runLint("--root " + fixturePath("no_such_dir")), 2);
+    EXPECT_EQ(runLint("--rules R99"), 2);
+    EXPECT_EQ(runLint(fixturePath("no_such_file.cc")), 2);
+}
+
+TEST(LintExitCodes, ListRulesExitsZeroAndCoversEveryRule)
+{
+    EXPECT_EQ(runLint("--list-rules"), 0);
+    EXPECT_EQ(ruleTable().size(), 5u);
+}
+
+} // namespace
+} // namespace h2::lint

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * h2lint: project-specific static analysis for the Hybrid2 simulator.
+ *
+ * Token/regex-level checks (no libclang) that lock in the structural
+ * invariants PRs 5-7 established by convention:
+ *
+ *   R1 device-seam      no direct DramDevice access()/post() outside
+ *                       src/mem/ + src/dram/ — designs must route
+ *                       traffic through nmc()/fmc()/ctrlFor() so
+ *                       FR-FCFS queueing applies.
+ *   R2 banned-call      crash- or determinism-hostile stdlib calls
+ *                       (std::sto*, rand, time, strtok, printf outside
+ *                       src/main.cc and bench/) with the sanctioned
+ *                       replacement named in the diagnostic.
+ *   R3 design-coverage  every H2_REGISTER_DESIGN has golden snapshots
+ *                       under tests/golden/ and a row in the README
+ *                       design table.
+ *   R4 metrics-manifest every Metrics.detail stats key emitted in src/
+ *                       appears in docs/metrics.md, and every manifest
+ *                       row corresponds to an emitted key.
+ *   R5 header-hygiene   headers carry #pragma once, no `using
+ *                       namespace` at namespace scope, no <iostream>.
+ *
+ * Suppressions: `// h2lint: allow(R2)` (comma list accepted) silences
+ * findings on the comment's line and the next line; `// h2lint:
+ * allow-file(R5)` silences a rule for the whole file.
+ *
+ * The analysis runs on comment- and string-stripped text (R4 keeps
+ * string literals — the stats keys live in them), so banned tokens in
+ * comments or log messages never trip a rule.
+ */
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace h2::lint {
+
+/** One diagnostic: rule ID, repo-relative file, 1-based line. */
+struct Finding
+{
+    std::string rule;
+    std::string file;
+    int line = 0;
+    std::string message;
+
+    bool operator==(const Finding &) const = default;
+};
+
+/** Static description of one rule, for --list-rules and the README. */
+struct RuleInfo
+{
+    std::string id;
+    std::string name;
+    std::string summary;
+};
+
+/** All rules in ID order. */
+const std::vector<RuleInfo> &ruleTable();
+
+/** True iff @p id names a known rule. */
+bool isKnownRule(const std::string &id);
+
+struct Options
+{
+    /** Repo root; tree mode scans src/, bench/, tests/, tools/ under
+     *  it and resolves the R3/R4 cross-file targets (tests/golden/,
+     *  README.md, docs/metrics.md) against it. */
+    std::string root = ".";
+    /** Rules to run; empty = all. */
+    std::set<std::string> rules;
+};
+
+/** True when @p id is enabled under @p opt. */
+bool ruleEnabled(const Options &opt, const std::string &id);
+
+/**
+ * Per-file rules (R1, R2, R5) over one file's contents. @p relPath is
+ * the repo-relative path — rule applicability (src/ vs bench/ vs
+ * header) is derived from it, so fixture tests can lint an on-disk
+ * file under any logical path.
+ */
+std::vector<Finding> lintFileContents(const std::string &relPath,
+                                      const std::string &text,
+                                      const Options &opt);
+
+/**
+ * Whole-tree mode: per-file rules over every .h/.cc/.cpp under
+ * src/, bench/, tests/, and tools/ (tests/lint_fixtures/ excluded —
+ * its files are deliberate violations), plus the cross-file rules R3
+ * and R4. On an unusable root (no src/ beneath it), returns empty and
+ * sets @p error.
+ */
+std::vector<Finding> lintTree(const Options &opt, std::string *error);
+
+/** "file:line: [R2] message" — one line, no trailing newline. */
+std::string formatFinding(const Finding &f);
+
+namespace detail {
+
+/**
+ * Lexing support, exposed for the unit tests.
+ *
+ * `code` is @p text with comments and string/char literals replaced by
+ * spaces (newlines kept, so offsets map to the same line numbers);
+ * `codeKeepStrings` strips only comments. Suppression comments are
+ * parsed into the two sets.
+ */
+struct ScrubbedFile
+{
+    std::string code;
+    std::string codeKeepStrings;
+    /** (rule, line) pairs silenced by `h2lint: allow(...)`; the line
+     *  recorded is every line the comment spans plus the next one. */
+    std::set<std::pair<std::string, int>> allowLines;
+    /** Rules silenced file-wide by `h2lint: allow-file(...)`. */
+    std::set<std::string> allowFile;
+
+    bool suppressed(const std::string &rule, int line) const;
+};
+
+ScrubbedFile scrub(const std::string &text);
+
+/** 1-based line of byte offset @p pos in @p text. */
+int lineOf(const std::string &text, size_t pos);
+
+} // namespace detail
+
+} // namespace h2::lint
