@@ -129,6 +129,11 @@ geomeansByClass(const std::vector<workloads::Workload> &suite,
     std::vector<double> high, medium, low, all;
     for (const auto &w : suite) {
         double v = metric(w);
+        // Degenerate points (a zero-traffic workload normalizing to
+        // ratioOrZero's 0) are excluded rather than poisoning the
+        // geomean, which is defined over strictly positive values.
+        if (v <= 0.0)
+            continue;
         all.push_back(v);
         switch (w.cls) {
           case workloads::MpkiClass::High: high.push_back(v); break;

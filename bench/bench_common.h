@@ -96,7 +96,10 @@ std::string fmt(double v, int decimals = 2);
 void banner(const std::string &title, const std::string &paperRef,
             const BenchOptions &opts);
 
-/** Geometric means of @p metric per MPKI class and overall. */
+/** Geometric means of @p metric per MPKI class and overall.
+ *  Non-positive metric values (degenerate points guarded to 0 via
+ *  ratioOrZero) are skipped — a geomean is only defined over strictly
+ *  positive values. */
 struct ClassGeomeans
 {
     double high = 0.0;

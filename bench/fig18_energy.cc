@@ -1,15 +1,128 @@
 /**
  * @file
  * Figure 18 reproduction: dynamic memory energy normalized to the
- * FM-only baseline, per MPKI class.
+ * FM-only baseline, per MPKI class — measured by the per-operation
+ * device energy model (bits read × rdPjPerBit + bits written ×
+ * wrPjPerBit + activations × actPreNj).
  * Paper "All": MPOD 1.33, CHA 1.73, LGM 1.27, TAGLESS 1.59, DFC 1.48,
  * HYBRID2 1.69.
+ *
+ * A second section repeats the sweep with PCM far memory (--fm pcm's
+ * RunConfig knob): asymmetric read/write energy makes FM-write-heavy
+ * designs pay measurably more, and the endurance columns (FM write
+ * traffic, per-bank wear imbalance) rank the designs on write-leveling
+ * behavior. Emits a JSON artifact (default BENCH_fig18_energy.json)
+ * with every cell of both sections.
+ *
+ * Normalizations are guarded by ratioOrZero: a degenerate zero-energy
+ * baseline (zero-traffic workload) renders as 0 and is skipped by the
+ * geomean instead of emitting inf/NaN into the table or the JSON.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/json.h"
+#include "common/log.h"
 #include "common/units.h"
+
+namespace {
+
+using namespace h2;
+
+struct DesignRow
+{
+    std::string design;
+    bench::ClassGeomeans normEnergy;
+    double fmReadEnergyPj = 0.0;  ///< summed over the suite
+    double fmWriteEnergyPj = 0.0; ///< summed over the suite
+    double fmBytesWritten = 0.0;  ///< summed over the suite
+    double maxBankWearDelta = 0.0; ///< worst imbalance over the suite
+};
+
+std::vector<DesignRow>
+sweepSection(const bench::BenchOptions &opts,
+             const std::vector<workloads::Workload> &suite,
+             dram::FarMemTech fmTech, bool wear)
+{
+    sim::RunConfig cfg = opts.runConfig(1 * GiB);
+    cfg.fm = fmTech;
+    sim::SweepRunner runner(cfg, opts.jobs);
+    runner.submitSweep(suite, sim::evaluatedDesigns(),
+                       /*withBaseline=*/true);
+    std::vector<DesignRow> rows;
+    for (const auto &spec : sim::evaluatedDesigns()) {
+        DesignRow row;
+        row.design = spec;
+        row.normEnergy = bench::geomeansByClass(suite, [&](const auto &w) {
+            double base = runner.run(w, "baseline").dynamicEnergyPj;
+            double design = runner.run(w, spec).dynamicEnergyPj;
+            return ratioOrZero(design, base);
+        });
+        for (const auto &w : suite) {
+            const sim::Metrics &m = runner.run(w, spec);
+            row.fmReadEnergyPj += m.detail.get("fm.readEnergyPj");
+            row.fmWriteEnergyPj += m.detail.get("fm.writeEnergyPj");
+            row.fmBytesWritten += m.detail.get("fm.bytesWritten");
+            if (wear)
+                row.maxBankWearDelta =
+                    std::max(row.maxBankWearDelta,
+                             m.detail.get("fm.maxBankWearDelta"));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+printSection(const std::vector<DesignRow> &rows, bool wear, bool csv)
+{
+    std::vector<std::string> cols = {"Design", "High", "Medium", "Low",
+                                     "All", "FM wr MiB", "FM wr/rd E"};
+    if (wear)
+        cols.push_back("Wear dMax KiB");
+    bench::Table table(cols, csv);
+    for (const DesignRow &r : rows) {
+        std::vector<std::string> cells = {
+            r.design,
+            bench::fmt(r.normEnergy.high),
+            bench::fmt(r.normEnergy.medium),
+            bench::fmt(r.normEnergy.low),
+            bench::fmt(r.normEnergy.all),
+            bench::fmt(r.fmBytesWritten / double(MiB), 1),
+            bench::fmt(ratioOrZero(r.fmWriteEnergyPj, r.fmReadEnergyPj)),
+        };
+        if (wear)
+            cells.push_back(bench::fmt(r.maxBankWearDelta / double(KiB), 1));
+        table.addRow(std::move(cells));
+    }
+    table.print();
+}
+
+void
+writeSectionJson(JsonWriter &w, const std::vector<DesignRow> &rows)
+{
+    w.beginArray();
+    for (const DesignRow &r : rows) {
+        w.beginObject()
+            .kv("design", r.design)
+            .kv("norm_energy_high", r.normEnergy.high)
+            .kv("norm_energy_medium", r.normEnergy.medium)
+            .kv("norm_energy_low", r.normEnergy.low)
+            .kv("norm_energy_all", r.normEnergy.all)
+            .kv("fm_read_energy_pj", r.fmReadEnergyPj)
+            .kv("fm_write_energy_pj", r.fmWriteEnergyPj)
+            .kv("fm_bytes_written", r.fmBytesWritten)
+            .kv("fm_max_bank_wear_delta", r.maxBankWearDelta)
+            .endObject();
+    }
+    w.endArray();
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -20,21 +133,38 @@ main(int argc, char **argv)
                   "Figure 18", opts);
     setLogQuiet(true);
 
-    auto runner = opts.makeRunner(1 * GiB);
-    bench::Table table({"Design", "High", "Medium", "Low", "All"},
-                       opts.csv);
     auto suite = opts.suite();
-    runner.submitSweep(suite, sim::evaluatedDesigns(),
-                       /*withBaseline=*/true);
-    for (const auto &spec : sim::evaluatedDesigns()) {
-        auto g = bench::geomeansByClass(suite, [&](const auto &w) {
-            double base = runner.run(w, "baseline").dynamicEnergyPj;
-            double design = runner.run(w, spec).dynamicEnergyPj;
-            return design / base;
-        });
-        table.addRow({spec, bench::fmt(g.high), bench::fmt(g.medium),
-                      bench::fmt(g.low), bench::fmt(g.all)});
-    }
-    table.print();
+    auto dramRows =
+        sweepSection(opts, suite, dram::FarMemTech::Dram, /*wear=*/false);
+    auto pcmRows =
+        sweepSection(opts, suite, dram::FarMemTech::Pcm, /*wear=*/true);
+
+    if (!opts.csv)
+        std::printf("-- DRAM far memory (paper configuration) --\n");
+    printSection(dramRows, /*wear=*/false, opts.csv);
+    if (!opts.csv)
+        std::printf("\n-- PCM far memory (--fm pcm: asymmetric energy, "
+                    "write endurance) --\n");
+    printSection(pcmRows, /*wear=*/true, opts.csv);
+
+    JsonWriter w;
+    w.beginObject()
+        .kv("bench", "fig18_energy")
+        .kv("mode", opts.full ? "full" : "quick")
+        .kv("instr_per_core", opts.effectiveInstrPerCore());
+    w.key("dram");
+    writeSectionJson(w, dramRows);
+    w.key("pcm");
+    writeSectionJson(w, pcmRows);
+    w.endObject();
+    const std::string json = w.str() + "\n";
+
+    const std::string outPath =
+        opts.jsonOut.empty() ? "BENCH_fig18_energy.json" : opts.jsonOut;
+    std::FILE *out = std::fopen(outPath.c_str(), "w");
+    if (!out)
+        h2_fatal("cannot write ", outPath);
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
     return 0;
 }

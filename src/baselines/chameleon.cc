@@ -48,7 +48,8 @@ Chameleon::Chameleon(const mem::MemSystemParams &sysParams,
                      const ChameleonParams &params)
     : mem::HybridMemory(sysParams,
                         dram::DramParams::hbm2(sysParams.nmBytes),
-                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+                        dram::DramParams::farMemory(sysParams.fmTech,
+                                                    sysParams.fmBytes)),
       cfg(resolveParams(sysParams, params)),
       nmGroupSegs((sysParams.nmBytes - cfg.cacheSliceBytes)
                   / cfg.segmentBytes),

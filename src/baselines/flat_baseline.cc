@@ -7,7 +7,8 @@ namespace h2::baselines {
 
 FlatBaseline::FlatBaseline(const mem::MemSystemParams &sysParams)
     : mem::HybridMemory(sysParams,
-                        dram::DramParams::ddr4_3200(sysParams.fmBytes))
+                        dram::DramParams::farMemory(sysParams.fmTech,
+                                                    sysParams.fmBytes))
 {
 }
 

@@ -29,7 +29,8 @@ IdealCache::IdealCache(const mem::MemSystemParams &sysParams,
                        const std::string &displayName)
     : mem::HybridMemory(sysParams,
                         dram::DramParams::hbm2(sysParams.nmBytes),
-                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+                        dram::DramParams::farMemory(sysParams.fmTech,
+                                                    sysParams.fmBytes)),
       cp(cacheParams), label(displayName),
       tags(tagParams(sysParams.nmBytes, cacheParams))
 {

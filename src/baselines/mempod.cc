@@ -12,7 +12,8 @@ MemPod::MemPod(const mem::MemSystemParams &sysParams,
                const MemPodParams &params)
     : mem::HybridMemory(sysParams,
                         dram::DramParams::hbm2(sysParams.nmBytes),
-                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+                        dram::DramParams::farMemory(sysParams.fmTech,
+                                                    sysParams.fmBytes)),
       cfg(params),
       nmSegs(sysParams.nmBytes / cfg.segmentBytes),
       fmSegs(sysParams.fmBytes / cfg.segmentBytes),

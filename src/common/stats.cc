@@ -67,6 +67,15 @@ geomean(const std::vector<double> &values)
 }
 
 double
+ratioOrZero(double num, double den)
+{
+    if (!std::isfinite(num) || !std::isfinite(den) || den == 0.0)
+        return 0.0;
+    double q = num / den;
+    return std::isfinite(q) ? q : 0.0;
+}
+
+double
 mean(const std::vector<double> &values)
 {
     if (values.empty())

@@ -74,6 +74,15 @@ class Histogram
 /** Geometric mean of strictly positive values; 0 for an empty vector. */
 double geomean(const std::vector<double> &values);
 
+/**
+ * num / den, or 0 when the quotient has no finite value (@p den zero,
+ * or either operand non-finite). Normalized-metric reports use this so
+ * a degenerate baseline (e.g. a zero-traffic workload with zero
+ * baseline energy) yields a renderable 0 instead of inf/NaN — JSON and
+ * CSV have no representation for either (cf. JsonWriter::formatDouble).
+ */
+double ratioOrZero(double num, double den);
+
 /** Arithmetic mean; 0 for an empty vector. */
 double mean(const std::vector<double> &values);
 

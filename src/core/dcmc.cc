@@ -45,7 +45,8 @@ Dcmc::Dcmc(const mem::MemSystemParams &sysParams, const Hybrid2Params &params,
            const Layout &l)
     : mem::HybridMemory(sysParams,
                         dram::DramParams::hbm2(sysParams.nmBytes),
-                        dram::DramParams::ddr4_3200(sysParams.fmBytes)),
+                        dram::DramParams::farMemory(sysParams.fmTech,
+                                                    sysParams.fmBytes)),
       cfg(params),
       metaSectors(l.metaSectors),
       nmLocs(l.nmLocs),

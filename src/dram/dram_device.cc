@@ -36,6 +36,8 @@ DramDevice::DramDevice(const DramParams &params)
     channels.resize(cfg.channels);
     for (auto &ch : channels)
         ch.banks.resize(cfg.banksPerChannel);
+    if (cfg.trackWear)
+        wearBytes.assign(u64(cfg.channels) * cfg.banksPerChannel, 0);
 }
 
 Tick
@@ -70,9 +72,11 @@ DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
     } else if (!bank.open) {
         ++counters.rowEmpty;
         ++counters.activations;
+        counters.actEnergyPj += cfg.actPreNj * 1000.0;
     } else {
         ++counters.rowMisses;
         ++counters.activations;
+        counters.actEnergyPj += cfg.actPreNj * 1000.0;
     }
     Tick dataEnd = chunkDone(bank, row, ch.busUntil, bytes, start);
     bank.open = true;
@@ -86,9 +90,17 @@ DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
     if (type == AccessType::Read) {
         ++counters.reads;
         counters.bytesRead += bytes;
+        counters.readEnergyPj += 8.0 * bytes * cfg.rdPjPerBit;
     } else {
         ++counters.writes;
         counters.bytesWritten += bytes;
+        counters.writeEnergyPj += 8.0 * bytes * cfg.wrPjPerBit;
+        // Cell programming (PCM): the bank stays busy past the data
+        // burst, but the write itself completes with its burst — the
+        // cost lands on whoever needs this bank next.
+        bank.readyAt = dataEnd + Tick(cfg.tWr) * cfg.clockPs;
+        if (cfg.trackWear)
+            wearBytes[u64(chIdx) * cfg.banksPerChannel + bankIdx] += bytes;
     }
     return dataEnd;
 }
@@ -126,7 +138,8 @@ DramDevice::probeChunkDone(Addr addr, u32 bytes, Tick start) const
 }
 
 Tick
-DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
+DramDevice::probeLatency(Addr addr, u32 bytes, Tick now,
+                         AccessType type) const
 {
     // Const replay of access(): identical chunking, with the bank and
     // bus state a real access would mutate kept in small local
@@ -165,7 +178,9 @@ DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
 
         bank.open = true;
         bank.row = row;
-        bank.readyAt = dataEnd;
+        bank.readyAt = type == AccessType::Write
+            ? dataEnd + Tick(cfg.tWr) * cfg.clockPs
+            : dataEnd;
         bool found = false;
         for (BankPatch &p : bankPatches)
             if (p.ch == chIdx && p.bank == bankIdx) {
@@ -192,9 +207,34 @@ DramDevice::probeLatency(Addr addr, u32 bytes, Tick now) const
 double
 DramDevice::dynamicEnergyPj() const
 {
-    double bits = 8.0 * counters.totalBytes();
-    return bits * cfg.rdwrPjPerBit + counters.activations * cfg.actPreNj
-        * 1000.0;
+    return counters.readEnergyPj + counters.writeEnergyPj
+        + counters.actEnergyPj;
+}
+
+u64
+DramDevice::bankWearBytes(u32 ch, u64 bank) const
+{
+    if (!cfg.trackWear)
+        return 0;
+    return wearBytes.at(u64(ch) * cfg.banksPerChannel + bank);
+}
+
+u64
+DramDevice::wearTotalBytes() const
+{
+    u64 total = 0;
+    for (u64 w : wearBytes)
+        total += w;
+    return total;
+}
+
+u64
+DramDevice::maxBankWearDelta() const
+{
+    if (wearBytes.empty())
+        return 0;
+    auto [lo, hi] = std::minmax_element(wearBytes.begin(), wearBytes.end());
+    return *hi - *lo;
 }
 
 double
@@ -214,6 +254,7 @@ DramDevice::resetStats()
     counters = DramStats{};
     for (auto &ch : channels)
         ch.busyAccum = 0;
+    std::fill(wearBytes.begin(), wearBytes.end(), 0);
     // The utilization window restarts with the busy accumulator: a
     // warm-up reset must not divide post-warm-up busy time by a
     // denominator that still spans warm-up.
@@ -229,9 +270,20 @@ DramDevice::collectStats(StatSet &out, const std::string &prefix) const
     out.add(prefix + ".bytesWritten", double(counters.bytesWritten));
     out.add(prefix + ".rowHits", double(counters.rowHits));
     out.add(prefix + ".rowMisses", double(counters.rowMisses));
+    out.add(prefix + ".rowEmpty", double(counters.rowEmpty));
     out.add(prefix + ".activations", double(counters.activations));
     out.add(prefix + ".dynamicEnergyPj", dynamicEnergyPj());
+    out.add(prefix + ".readEnergyPj", counters.readEnergyPj);
+    out.add(prefix + ".writeEnergyPj", counters.writeEnergyPj);
+    out.add(prefix + ".actEnergyPj", counters.actEnergyPj);
     out.add(prefix + ".busUtilization", busUtilization());
+    if (cfg.trackWear) {
+        out.add(prefix + ".wearTotalBytes", double(wearTotalBytes()));
+        out.add(prefix + ".maxBankWearBytes",
+                double(*std::max_element(wearBytes.begin(),
+                                         wearBytes.end())));
+        out.add(prefix + ".maxBankWearDelta", double(maxBankWearDelta()));
+    }
 }
 
 } // namespace h2::dram

@@ -31,6 +31,11 @@ struct DramStats
     u64 rowMisses = 0;       ///< row open to a different row (PRE+ACT)
     u64 rowEmpty = 0;        ///< bank closed (ACT only)
     u64 activations = 0;
+    // Per-operation energy accumulation (asymmetric-capable: PCM pays
+    // far more per written bit than per read bit).
+    double readEnergyPj = 0.0;  ///< sum of bits-read × rdPjPerBit
+    double writeEnergyPj = 0.0; ///< sum of bits-written × wrPjPerBit
+    double actEnergyPj = 0.0;   ///< sum of activations × actPreNj
 
     u64 totalBytes() const { return bytesRead + bytesWritten; }
 };
@@ -71,7 +76,8 @@ class DramDevice
      * controller schedule". In queue=off mode the two are identical
      * (pinned by a property test).
      */
-    Tick probeLatency(Addr addr, u32 bytes, Tick now) const;
+    Tick probeLatency(Addr addr, u32 bytes, Tick now,
+                      AccessType type = AccessType::Read) const;
 
     /** Number of channels (chunk interleave targets). */
     u32 channelCount() const { return static_cast<u32>(channels.size()); }
@@ -147,8 +153,26 @@ class DramDevice
     const DramParams &params() const { return cfg; }
     const DramStats &stats() const { return counters; }
 
-    /** Dynamic energy consumed so far, in picojoules. */
+    /**
+     * Dynamic energy consumed since the last resetStats(), in
+     * picojoules: the sum of the per-operation read, write, and
+     * activate/precharge accumulations (asymmetric read/write energy
+     * under PCM presets).
+     */
     double dynamicEnergyPj() const;
+
+    /** Bytes ever written to bank @p bank of channel @p ch since the
+     *  last resetStats() (0 unless params().trackWear). */
+    u64 bankWearBytes(u32 ch, u64 bank) const;
+
+    /** Sum of per-bank wear counters (== bytesWritten in the stats
+     *  window; 0 unless params().trackWear). */
+    u64 wearTotalBytes() const;
+
+    /** Spread between the most- and least-written bank — the
+     *  write-leveling imbalance a wear-aware policy should minimize
+     *  (0 unless params().trackWear). */
+    u64 maxBankWearDelta() const;
 
     /**
      * Fraction of data-bus time used in [statsSince, now], where
@@ -224,6 +248,9 @@ class DramDevice
     Geometry geo;
     std::vector<Channel> channels;
     DramStats counters;
+    /** Per-bank written-bytes wear counters, indexed
+     *  [channel * banksPerChannel + bank]; empty unless trackWear. */
+    std::vector<u64> wearBytes;
     Tick statsSince = 0; ///< window start for busUtilization
     Tick lastTick = 0;   ///< latest activity (chunk completion) seen
 };

@@ -1,6 +1,28 @@
 #include "dram/dram_params.h"
 
+#include "common/log.h"
+
 namespace h2::dram {
+
+const char *
+to_string(FarMemTech tech)
+{
+    switch (tech) {
+    case FarMemTech::Dram: return "dram";
+    case FarMemTech::Pcm: return "pcm";
+    }
+    h2_panic("unknown FarMemTech");
+}
+
+std::optional<FarMemTech>
+parseFarMemTech(std::string_view text)
+{
+    if (text == "dram")
+        return FarMemTech::Dram;
+    if (text == "pcm")
+        return FarMemTech::Pcm;
+    return std::nullopt;
+}
 
 double
 DramParams::peakBandwidthBytesPerSec() const
@@ -25,7 +47,8 @@ DramParams::hbm2(u64 capacityBytes)
     p.tRp = 7;
     p.rowBytes = 2048;
     p.interleaveBytes = 256;
-    p.rdwrPjPerBit = 6.4;
+    p.rdPjPerBit = 6.4;
+    p.wrPjPerBit = 6.4;
     p.actPreNj = 15.0;
     return p;
 }
@@ -45,9 +68,43 @@ DramParams::ddr4_3200(u64 capacityBytes)
     p.tRp = 22;
     p.rowBytes = 8192;
     p.interleaveBytes = 256;
-    p.rdwrPjPerBit = 33.0;
+    p.rdPjPerBit = 33.0;
+    p.wrPjPerBit = 33.0;
     p.actPreNj = 15.0;
     return p;
+}
+
+DramParams
+DramParams::pcm(u64 capacityBytes)
+{
+    DramParams p;
+    p.name = "PCM";
+    p.capacityBytes = capacityBytes;
+    p.channels = 2;
+    p.banksPerChannel = 8;
+    p.busBytes = 8;    // DDR4-style 64-bit interface
+    p.clockPs = 625;   // 1.6 GHz command clock
+    p.tCas = 28;       // row-buffer hit near DRAM speed
+    p.tRcd = 88;       // ~55 ns array read into the row buffer
+    p.tRp = 22;
+    p.tWr = 240;       // ~150 ns cell programming after a write burst
+    p.rowBytes = 4096; // smaller row buffers than DDR4
+    p.interleaveBytes = 256;
+    p.rdPjPerBit = 4.4;  // array reads are cheap...
+    p.wrPjPerBit = 23.1; // ...RESET/SET programming is not
+    p.actPreNj = 15.0;
+    p.trackWear = true;
+    return p;
+}
+
+DramParams
+DramParams::farMemory(FarMemTech tech, u64 capacityBytes)
+{
+    switch (tech) {
+    case FarMemTech::Dram: return ddr4_3200(capacityBytes);
+    case FarMemTech::Pcm: return pcm(capacityBytes);
+    }
+    h2_panic("unknown FarMemTech");
 }
 
 } // namespace h2::dram

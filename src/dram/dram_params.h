@@ -1,21 +1,39 @@
 /**
  * @file
- * DRAM device timing/energy parameters with the paper's Table 1 presets.
+ * Memory device timing/energy parameters: the paper's Table 1 DRAM
+ * presets plus a PCM-like non-volatile far-memory preset.
  */
 
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.h"
 
 namespace h2::dram {
 
+/** Far-memory technology selectable per run (RunConfig::fm,
+ *  `h2sim --fm`, experiment-file `fm` directive). */
+enum class FarMemTech { Dram, Pcm };
+
+/** Canonical spelling ("dram"/"pcm") for CLIs and reports. */
+const char *to_string(FarMemTech tech);
+
+/** Parse "dram"/"pcm"; nullopt on anything else. */
+std::optional<FarMemTech> parseFarMemTech(std::string_view text);
+
 /**
- * Parameters of one DRAM device (a set of channels with identical
+ * Parameters of one memory device (a set of channels with identical
  * geometry and timing). Timings are in device clock cycles; the clock
  * period is in picoseconds. Data moves at double data rate (two beats of
  * @c busBytes per clock).
+ *
+ * The same analytic row-buffer model covers DRAM and PCM-like NVM:
+ * PCM presets differ by slower activations (array reads), a non-zero
+ * write-programming time @c tWr, asymmetric per-bit read/write energy,
+ * and per-bank write-wear tracking (@c trackWear).
  */
 struct DramParams
 {
@@ -28,10 +46,23 @@ struct DramParams
     u32 tCas = 22;           ///< column access latency (cycles)
     u32 tRcd = 22;           ///< RAS-to-CAS delay (cycles)
     u32 tRp = 22;            ///< row precharge (cycles)
+    /**
+     * Write-programming / write-recovery time (cycles): a write chunk
+     * keeps its bank busy this long after its data burst, so reads
+     * behind a write wait it out (bank contention), while the write's
+     * own completion tick stays the end of the data burst. 0 for the
+     * DRAM presets (the seed model never charged DRAM tWR); large for
+     * PCM, where cell programming dominates the write path.
+     */
+    u32 tWr = 0;
     u32 rowBytes = 2048;     ///< row-buffer size per bank
     u32 interleaveBytes = 256; ///< channel interleave granularity
-    double rdwrPjPerBit = 33.0; ///< RD/WR + I/O energy, pJ/bit
+    double rdPjPerBit = 33.0; ///< read + I/O energy, pJ/bit
+    double wrPjPerBit = 33.0; ///< write + I/O energy, pJ/bit
     double actPreNj = 15.0;  ///< activate+precharge energy, nJ per ACT
+    /** Track per-bank written-bytes wear counters (PCM endurance);
+     *  enables the `.wear*` stats block. */
+    bool trackWear = false;
 
     /** Peak bandwidth in bytes/second across all channels. */
     double peakBandwidthBytesPerSec() const;
@@ -47,6 +78,26 @@ struct DramParams
      * 22-22-22, 33 pJ/bit RD/WR+I/O, 15 nJ ACT/PRE.
      */
     static DramParams ddr4_3200(u64 capacityBytes);
+
+    /**
+     * PCM far memory on a DDR4-3200-style interface (2 64-bit
+     * channels, 1.6 GHz command clock), with the asymmetries that
+     * distinguish PCM from DRAM in the DRAM-alternative literature
+     * (Lee et al. ISCA'09 lineage, as parameterized by HybridSim's
+     * PCMSim array architecture):
+     *  - slow array reads: activation ~55 ns (tRCD 88 cycles) against
+     *    DDR4's ~13.75 ns, row-buffer hits DRAM-like (tCAS 28);
+     *  - slower writes still: 150 ns cell programming (tWr 240)
+     *    occupies the bank after each write burst;
+     *  - asymmetric energy: 4.4 pJ/bit reads vs 23.1 pJ/bit writes
+     *    (ACT/PRE kept at the Table 1 15 nJ — the paper gives no PCM
+     *    figure, and keeping it shared isolates the rd/wr asymmetry);
+     *  - per-bank write-wear counters (trackWear) for endurance stats.
+     */
+    static DramParams pcm(u64 capacityBytes);
+
+    /** The far-memory preset for @p tech (ddr4_3200 or pcm). */
+    static DramParams farMemory(FarMemTech tech, u64 capacityBytes);
 };
 
 } // namespace h2::dram

@@ -83,6 +83,10 @@ void printUsage(std::FILE *out)
         "                       write queues with drain watermarks); off\n"
         "                       restores the analytic immediate-dispatch\n"
         "                       model [on]\n"
+        "  --fm <dram|pcm>      far-memory technology: DDR4 DRAM, or a\n"
+        "                       PCM-like NVM with asymmetric read/write\n"
+        "                       latency and energy plus per-bank wear\n"
+        "                       stats [dram]\n"
         "  --jobs <n>           parallel simulations; 0 = all cores [1]\n"
         "  --speedup            also report speedup over the FM-only\n"
         "                       baseline\n"
@@ -228,6 +232,13 @@ int main(int argc, char **argv)
             else
                 usageError("--queue expects on|off, got '" + v + "'");
             configFlagSeen = true;
+        } else if (arg == "--fm") {
+            std::string v = next("--fm");
+            auto tech = h2::dram::parseFarMemTech(v);
+            if (!tech)
+                usageError("--fm expects dram|pcm, got '" + v + "'");
+            experiment.config.fm = *tech;
+            configFlagSeen = true;
         } else if (arg == "--jobs") {
             jobs = static_cast<u32>(parseU64("--jobs", next("--jobs")));
             jobsSet = true;
@@ -308,7 +319,7 @@ int main(int argc, char **argv)
         if (configFlagSeen)
             usageError("--experiment is mutually exclusive with the "
                        "config flags (--nm-mib, --fm-mib, --cores, "
-                       "--instr, --warmup, --seed, --queue, "
+                       "--instr, --warmup, --seed, --queue, --fm, "
                        "--run-timeout, --retries); set them in the "
                        "experiment file instead");
         // CLI-only fields survive the file load (the file cannot set

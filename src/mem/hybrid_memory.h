@@ -44,6 +44,10 @@ struct MemSystemParams
 {
     u64 nmBytes = 1ull << 30;      ///< near-memory capacity
     u64 fmBytes = 16ull << 30;     ///< far-memory capacity
+    /** Far-memory device technology: DDR4 DRAM (default) or a PCM-like
+     *  NVM with asymmetric read/write timing and energy. Designs build
+     *  their FM device via dram::DramParams::farMemory(fmTech, ...). */
+    dram::FarMemTech fmTech = dram::FarMemTech::Dram;
     Tick corePeriodPs = 313;       ///< 3.2 GHz core clock (rounded to ps)
     /** Fixed controller/on-chip interconnect traversal per request. */
     Tick controllerLatencyPs = 3130; ///< ~10 core cycles

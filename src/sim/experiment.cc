@@ -141,6 +141,13 @@ ExperimentSpec::parse(std::string_view text, std::string *error)
                             detail::concat("bad value for queue: '",
                                            value, "' (expected on|off)"));
             spec.config.queue = *b;
+        } else if (key == "fm") {
+            auto tech = dram::parseFarMemTech(value);
+            if (!tech)
+                return fail(lineNo,
+                            detail::concat("bad value for fm: '", value,
+                                           "' (expected dram|pcm)"));
+            spec.config.fm = *tech;
         } else if (key == "jobs") {
             u64 v = 0;
             if (!tryParseU64(value, v) || v > ~u32(0))

@@ -22,6 +22,7 @@ writeConfigJson(JsonWriter &w, const RunConfig &cfg)
         .kv("warmup_instr_per_core", cfg.warmupInstrPerCore)
         .kv("num_cores", cfg.numCores)
         .kv("seed", cfg.seed)
+        .kv("fm", dram::to_string(cfg.fm))
         .kv("run_timeout_ms", cfg.runTimeoutMs)
         .kv("retries", cfg.retries)
         .endObject();

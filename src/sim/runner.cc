@@ -72,6 +72,7 @@ makeSystemConfig(const RunConfig &cfg)
     sc.warmupInstrPerCore = cfg.warmupInstrPerCore;
     sc.seed = cfg.seed;
     sc.mem.queue.enabled = cfg.queue;
+    sc.mem.fmTech = cfg.fm;
     sc.runTimeoutMs = cfg.runTimeoutMs;
     return sc;
 }

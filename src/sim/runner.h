@@ -47,6 +47,10 @@ struct RunConfig
      *  restores the pre-queue analytic dispatch, for A/B runs and the
      *  noqueue golden suite. */
     bool queue = true;
+    /** Far-memory technology (h2sim --fm, experiment-file `fm`): DDR4
+     *  DRAM (default) or a PCM-like NVM with asymmetric read/write
+     *  latency and energy plus per-bank wear stats. */
+    dram::FarMemTech fm = dram::FarMemTech::Dram;
     /** Per-run wall-clock watchdog in ms (0 = none): a run past the
      *  deadline is cancelled with SimTimeoutError and its sweep point
      *  recorded as a timed-out failure (h2sim --run-timeout). */

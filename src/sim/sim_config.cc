@@ -46,7 +46,7 @@ std::string
 describeConfig(const SystemConfig &cfg)
 {
     auto nm = dram::DramParams::hbm2(cfg.mem.nmBytes);
-    auto fm = dram::DramParams::ddr4_3200(cfg.mem.fmBytes);
+    auto fm = dram::DramParams::farMemory(cfg.mem.fmTech, cfg.mem.fmBytes);
     std::ostringstream os;
     os << "Cores       : " << cfg.numCores << " cores, out-of-order, "
        << cfg.core.issueWidth << "-way issue/commit, 3.2 GHz\n"
@@ -64,14 +64,21 @@ describeConfig(const SystemConfig &cfg)
        << formatBytes(nm.capacityBytes) << ", " << nm.channels
        << " 128-bit channels, " << nm.banksPerChannel
        << " banks, tCAS-tRCD-tRP: " << nm.tCas << "-" << nm.tRcd << "-"
-       << nm.tRp << ", RD/WR+I/O energy: " << nm.rdwrPjPerBit
+       << nm.tRp << ", RD/WR+I/O energy: " << nm.rdPjPerBit
        << " pJ/bit, ACT/PRE energy: " << nm.actPreNj << " nJ\n"
        << "Far Memory  : " << fm.name << ", "
        << formatBytes(fm.capacityBytes) << ", " << fm.channels
        << " 64-bit channels, " << fm.banksPerChannel
        << " banks, tCAS-tRCD-tRP: " << fm.tCas << "-" << fm.tRcd << "-"
-       << fm.tRp << ", RD/WR+I/O energy: " << fm.rdwrPjPerBit
-       << " pJ/bit, ACT/PRE energy: " << fm.actPreNj << " nJ\n";
+       << fm.tRp;
+    if (fm.tWr > 0)
+        os << ", tWR: " << fm.tWr;
+    if (fm.rdPjPerBit == fm.wrPjPerBit)
+        os << ", RD/WR+I/O energy: " << fm.rdPjPerBit << " pJ/bit";
+    else
+        os << ", RD+I/O energy: " << fm.rdPjPerBit
+           << " pJ/bit, WR+I/O energy: " << fm.wrPjPerBit << " pJ/bit";
+    os << ", ACT/PRE energy: " << fm.actPreNj << " nJ\n";
     return os.str();
 }
 

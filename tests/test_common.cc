@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <unordered_map>
 
@@ -121,6 +122,25 @@ TEST(Stats, Mean)
 {
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
     EXPECT_DOUBLE_EQ(mean({1.0, 3.0}), 2.0);
+}
+
+TEST(Stats, RatioOrZero)
+{
+    EXPECT_DOUBLE_EQ(ratioOrZero(6.0, 3.0), 2.0);
+    EXPECT_DOUBLE_EQ(ratioOrZero(0.0, 3.0), 0.0);
+    // Regression (fig18_energy): a zero-energy baseline must yield a
+    // renderable 0, not inf/NaN in the table or the JSON artifact.
+    EXPECT_DOUBLE_EQ(ratioOrZero(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratioOrZero(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratioOrZero(-5.0, 0.0), 0.0);
+    double inf = std::numeric_limits<double>::infinity();
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(ratioOrZero(inf, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratioOrZero(2.0, inf), 0.0);
+    EXPECT_DOUBLE_EQ(ratioOrZero(nan, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratioOrZero(2.0, nan), 0.0);
+    // Huge/tiny overflowing to inf is also clamped.
+    EXPECT_DOUBLE_EQ(ratioOrZero(1e308, 1e-308), 0.0);
 }
 
 TEST(Stats, StatSet)

@@ -20,7 +20,8 @@ TEST(DramParams, Hbm2MatchesTable1)
     EXPECT_EQ(p.tCas, 7u);
     EXPECT_EQ(p.tRcd, 7u);
     EXPECT_EQ(p.tRp, 7u);
-    EXPECT_DOUBLE_EQ(p.rdwrPjPerBit, 6.4);
+    EXPECT_DOUBLE_EQ(p.rdPjPerBit, 6.4);
+    EXPECT_DOUBLE_EQ(p.wrPjPerBit, 6.4);
     EXPECT_DOUBLE_EQ(p.actPreNj, 15.0);
     // 8 ch x 16 B x 2 beats x 2 GHz = 512 GB/s.
     EXPECT_NEAR(p.peakBandwidthBytesPerSec(), 512e9, 1e9);
@@ -102,12 +103,16 @@ TEST_P(DramPresets, EnergyAccounting)
     auto p = params();
     DramDevice dev(p);
     dev.access(0, 64, AccessType::Read, 0);
-    double expected = 64 * 8 * p.rdwrPjPerBit + p.actPreNj * 1000.0;
+    double expected = 64 * 8 * p.rdPjPerBit + p.actPreNj * 1000.0;
     EXPECT_NEAR(dev.dynamicEnergyPj(), expected, 1e-6);
     // A row hit adds only transfer energy.
     dev.access(0, 64, AccessType::Write, 1000000);
     EXPECT_NEAR(dev.dynamicEnergyPj(),
-                expected + 64 * 8 * p.rdwrPjPerBit, 1e-6);
+                expected + 64 * 8 * p.wrPjPerBit, 1e-6);
+    // The per-operation buckets decompose the total exactly.
+    EXPECT_NEAR(dev.stats().readEnergyPj, 64 * 8 * p.rdPjPerBit, 1e-9);
+    EXPECT_NEAR(dev.stats().writeEnergyPj, 64 * 8 * p.wrPjPerBit, 1e-9);
+    EXPECT_NEAR(dev.stats().actEnergyPj, p.actPreNj * 1000.0, 1e-9);
 }
 
 TEST_P(DramPresets, StatsCounters)
@@ -255,10 +260,11 @@ TEST(DramDevice, ProbeEqualsAccessForUnalignedMultiChunk)
     // mid-chunk and span several channels — not just aligned
     // single-chunk requests (test_hotpath_arith pins those). The
     // pre-fix probe approximated multi-chunk requests and drifted.
-    for (const char *preset : {"hbm2", "ddr4"}) {
-        auto p = std::string(preset) == "hbm2"
-            ? DramParams::hbm2(256 * MiB)
-            : DramParams::ddr4_3200(256 * MiB);
+    for (const char *preset : {"hbm2", "ddr4", "pcm"}) {
+        std::string name(preset);
+        auto p = name == "hbm2" ? DramParams::hbm2(256 * MiB)
+            : name == "ddr4"    ? DramParams::ddr4_3200(256 * MiB)
+                                : DramParams::pcm(256 * MiB);
         DramDevice dev(p);
         u64 state = 99;
         Tick now = 0;
@@ -271,13 +277,150 @@ TEST(DramDevice, ProbeEqualsAccessForUnalignedMultiChunk)
             u32 bytes = 1 + u32((state >> 7) % (p.interleaveBytes * 4));
             AccessType t = (state & 1) ? AccessType::Read
                                        : AccessType::Write;
-            Tick predicted = dev.probeLatency(addr, bytes, now);
+            Tick predicted = dev.probeLatency(addr, bytes, now, t);
             Tick done = dev.access(addr, bytes, t, now);
             ASSERT_EQ(now + predicted, done)
                 << preset << " access " << i << " addr " << addr
                 << " bytes " << bytes;
         }
     }
+}
+
+// ----- PCM far-memory backend ----------------------------------------
+
+TEST(FarMemTechNames, RoundTrip)
+{
+    EXPECT_STREQ(to_string(FarMemTech::Dram), "dram");
+    EXPECT_STREQ(to_string(FarMemTech::Pcm), "pcm");
+    EXPECT_EQ(parseFarMemTech("dram"), FarMemTech::Dram);
+    EXPECT_EQ(parseFarMemTech("pcm"), FarMemTech::Pcm);
+    EXPECT_FALSE(parseFarMemTech("nvm").has_value());
+    EXPECT_FALSE(parseFarMemTech("").has_value());
+}
+
+TEST(PcmParams, AsymmetricPreset)
+{
+    auto p = DramParams::pcm(16 * GiB);
+    EXPECT_EQ(p.name, "PCM");
+    // Slow array reads, slower writes still, asymmetric energy.
+    EXPECT_GT(p.tRcd, DramParams::ddr4_3200(16 * GiB).tRcd);
+    EXPECT_GT(p.tWr, p.tCas);
+    EXPECT_GT(p.wrPjPerBit, p.rdPjPerBit);
+    EXPECT_TRUE(p.trackWear);
+    // The DRAM presets stay symmetric with no programming time.
+    EXPECT_EQ(DramParams::ddr4_3200(16 * GiB).tWr, 0u);
+    EXPECT_EQ(DramParams::hbm2(GiB).tWr, 0u);
+    // farMemory dispatches on the tech knob.
+    EXPECT_EQ(DramParams::farMemory(FarMemTech::Dram, GiB).name,
+              "DDR4-3200");
+    EXPECT_EQ(DramParams::farMemory(FarMemTech::Pcm, GiB).name, "PCM");
+}
+
+TEST(PcmDevice, WriteOccupiesBankPastItsBurst)
+{
+    // A write completes with its data burst, but cell programming
+    // (tWr) keeps the bank busy afterwards: a read issued right behind
+    // a write to the same bank waits out the programming time, while
+    // the same read behind a read does not.
+    auto p = DramParams::pcm(256 * MiB);
+    DramDevice afterWrite(p);
+    Tick w = afterWrite.access(0, 64, AccessType::Write, 0);
+    Tick readBehindWrite =
+        afterWrite.access(0, 64, AccessType::Read, 0);
+    DramDevice afterRead(p);
+    Tick r = afterRead.access(0, 64, AccessType::Read, 0);
+    Tick readBehindRead = afterRead.access(0, 64, AccessType::Read, 0);
+    EXPECT_EQ(w, r); // the write itself is not slower...
+    EXPECT_EQ(readBehindWrite - readBehindRead,
+              Tick(p.tWr) * p.clockPs); // ...its successor is
+}
+
+TEST(PcmDevice, AsymmetricEnergyClosedForm)
+{
+    auto p = DramParams::pcm(256 * MiB);
+    DramDevice dev(p);
+    dev.access(0, 64, AccessType::Read, 0);          // rowEmpty: ACT
+    dev.access(0, 128, AccessType::Write, 10000000); // row hit
+    double rd = 64 * 8 * p.rdPjPerBit;
+    double wr = 128 * 8 * p.wrPjPerBit;
+    double act = p.actPreNj * 1000.0;
+    EXPECT_NEAR(dev.stats().readEnergyPj, rd, 1e-9);
+    EXPECT_NEAR(dev.stats().writeEnergyPj, wr, 1e-9);
+    EXPECT_NEAR(dev.stats().actEnergyPj, act, 1e-9);
+    EXPECT_NEAR(dev.dynamicEnergyPj(), rd + wr + act, 1e-9);
+    // resetStats starts a fresh window for every energy bucket.
+    dev.resetStats();
+    EXPECT_DOUBLE_EQ(dev.dynamicEnergyPj(), 0.0);
+    dev.access(0, 64, AccessType::Write, 20000000);
+    EXPECT_DOUBLE_EQ(dev.stats().readEnergyPj, 0.0);
+    EXPECT_NEAR(dev.dynamicEnergyPj(), 64 * 8 * p.wrPjPerBit, 1e-9);
+}
+
+TEST(PcmDevice, WearCountersTrackPerBankWrites)
+{
+    auto p = DramParams::pcm(256 * MiB);
+    DramDevice dev(p);
+    // Two writes to bank 0 of channel 0, one to the same row later.
+    dev.access(0, 64, AccessType::Write, 0);
+    dev.access(0, 64, AccessType::Write, 10000000);
+    // One read: reads never wear PCM cells.
+    dev.access(0, 64, AccessType::Read, 20000000);
+    EXPECT_EQ(dev.wearTotalBytes(), 128u);
+    EXPECT_EQ(dev.bankWearBytes(0, 0), 128u);
+    // All wear on one bank: the imbalance equals the max.
+    EXPECT_EQ(dev.maxBankWearDelta(), 128u);
+
+    StatSet out;
+    dev.collectStats(out, "fm");
+    EXPECT_DOUBLE_EQ(out.get("fm.wearTotalBytes"), 128.0);
+    EXPECT_DOUBLE_EQ(out.get("fm.maxBankWearBytes"), 128.0);
+    EXPECT_DOUBLE_EQ(out.get("fm.maxBankWearDelta"), 128.0);
+    EXPECT_DOUBLE_EQ(out.get("fm.rowEmpty"), 1.0);
+
+    // Wear resets with the stats window (measurement counters, not
+    // lifetime odometers — the System resets after warm-up).
+    dev.resetStats();
+    EXPECT_EQ(dev.wearTotalBytes(), 0u);
+    EXPECT_EQ(dev.maxBankWearDelta(), 0u);
+}
+
+TEST(DramDevice, WearKeysAbsentWithoutTracking)
+{
+    // DRAM devices must not grow wear keys (golden compatibility, and
+    // the stats would be meaningless for an unlimited-endurance
+    // device).
+    DramDevice dev(DramParams::ddr4_3200(256 * MiB));
+    dev.access(0, 64, AccessType::Write, 0);
+    StatSet out;
+    dev.collectStats(out, "fm");
+    EXPECT_FALSE(out.has("fm.wearTotalBytes"));
+    EXPECT_FALSE(out.has("fm.maxBankWearBytes"));
+    EXPECT_FALSE(out.has("fm.maxBankWearDelta"));
+    EXPECT_TRUE(out.has("fm.rowEmpty"));
+    EXPECT_EQ(dev.wearTotalBytes(), 0u);
+    EXPECT_EQ(dev.bankWearBytes(0, 0), 0u);
+}
+
+TEST(DramDevice, CollectStatsEmitsRowEmpty)
+{
+    // Satellite regression: rowEmpty was counted by accessChunk but
+    // silently dropped by collectStats, so the first-touch activation
+    // count never reached Metrics.detail.
+    DramDevice dev(DramParams::hbm2(256 * MiB));
+    dev.access(0, 64, AccessType::Read, 0); // closed bank: rowEmpty
+    dev.access(0, 64, AccessType::Read, 10000000); // row hit
+    u64 rowSpan = u64(dev.params().rowBytes) * dev.params().channels
+        * dev.params().banksPerChannel;
+    dev.access(rowSpan, 64, AccessType::Read, 20000000); // row miss
+    StatSet out;
+    dev.collectStats(out, "nm");
+    EXPECT_DOUBLE_EQ(out.get("nm.rowEmpty"), 1.0);
+    EXPECT_DOUBLE_EQ(out.get("nm.rowHits"), 1.0);
+    EXPECT_DOUBLE_EQ(out.get("nm.rowMisses"), 1.0);
+    // The energy split is emitted for every device.
+    EXPECT_GT(out.get("nm.readEnergyPj"), 0.0);
+    EXPECT_DOUBLE_EQ(out.get("nm.writeEnergyPj"), 0.0);
+    EXPECT_GT(out.get("nm.actEnergyPj"), 0.0);
 }
 
 } // namespace

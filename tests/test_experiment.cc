@@ -84,6 +84,30 @@ TEST(ExperimentParse, ErrorsNameTheOffendingLine)
     EXPECT_NE(err.find("bad value"), std::string::npos) << err;
 }
 
+TEST(ExperimentParse, FmDirectiveSelectsFarMemoryTech)
+{
+    std::string err;
+    auto spec = ExperimentSpec::parse(
+        "design dfc\nworkload lbm\nfm pcm\n", &err);
+    ASSERT_TRUE(spec) << err;
+    EXPECT_EQ(spec->config.fm, dram::FarMemTech::Pcm);
+
+    spec = ExperimentSpec::parse("design dfc\nworkload lbm\nfm dram\n",
+                                 &err);
+    ASSERT_TRUE(spec) << err;
+    EXPECT_EQ(spec->config.fm, dram::FarMemTech::Dram);
+
+    // Default stays DRAM.
+    spec = ExperimentSpec::parse("design dfc\nworkload lbm\n", &err);
+    ASSERT_TRUE(spec) << err;
+    EXPECT_EQ(spec->config.fm, dram::FarMemTech::Dram);
+
+    EXPECT_FALSE(ExperimentSpec::parse(
+        "design dfc\nworkload lbm\nfm nvram\n", &err));
+    EXPECT_NE(err.find("bad value for fm"), std::string::npos) << err;
+    EXPECT_NE(err.find("dram|pcm"), std::string::npos) << err;
+}
+
 TEST(ExperimentParse, MissingDesignOrWorkloadRejected)
 {
     std::string err;

@@ -59,7 +59,7 @@ updateRequested()
 
 std::string
 goldenPath(const std::string &design, const std::string &workload,
-           bool queue)
+           bool queue, dram::FarMemTech fm)
 {
     std::string file = design + "_" + workload + ".json";
     for (char &c : file)
@@ -68,6 +68,8 @@ goldenPath(const std::string &design, const std::string &workload,
     std::string dir = std::string(H2_GOLDEN_DIR);
     if (!queue)
         dir += "/noqueue";
+    if (fm == dram::FarMemTech::Pcm)
+        dir += "/pcm";
     return dir + "/" + file;
 }
 
@@ -134,14 +136,16 @@ compareJson(const std::string &want, const std::string &got)
 
 void
 checkGolden(const std::string &design, const std::string &workloadSpec,
-            bool queue = true)
+            bool queue = true,
+            dram::FarMemTech fm = dram::FarMemTech::Dram)
 {
     sim::RunConfig cfg = goldenConfig();
     cfg.queue = queue;
+    cfg.fm = fm;
     sim::Metrics m = sim::simulateOne(
         cfg, workloads::resolveWorkloadOrFatal(workloadSpec), design);
     std::string got = m.toJson();
-    std::string path = goldenPath(design, workloadSpec, queue);
+    std::string path = goldenPath(design, workloadSpec, queue, fm);
 
     if (updateRequested()) {
         std::ofstream out(path);
@@ -221,6 +225,30 @@ TEST(GoldenMetricsNoQueue, Hybrid2Lbm)
 TEST(GoldenMetricsNoQueue, Hybrid2Mix)
 {
     checkGolden("hybrid2", "mix:mcf+xalanc:2", /*queue=*/false);
+}
+
+// fm=pcm legs: pin the PCM far-memory backend — asymmetric read/write
+// timing (tRCD/tWR), the asymmetric per-operation energy split, and
+// the per-bank wear counters (`fm.wearTotalBytes` etc. appear only
+// here). Same three structural organizations as the noqueue suite,
+// plus one pointer-heavy workload for a second traffic shape.
+
+TEST(GoldenMetricsPcm, BaselineLbm)
+{
+    checkGolden("baseline", "lbm", /*queue=*/true,
+                dram::FarMemTech::Pcm);
+}
+TEST(GoldenMetricsPcm, DfcLbm)
+{
+    checkGolden("dfc", "lbm", /*queue=*/true, dram::FarMemTech::Pcm);
+}
+TEST(GoldenMetricsPcm, Hybrid2Lbm)
+{
+    checkGolden("hybrid2", "lbm", /*queue=*/true, dram::FarMemTech::Pcm);
+}
+TEST(GoldenMetricsPcm, Hybrid2Mcf)
+{
+    checkGolden("hybrid2", "mcf", /*queue=*/true, dram::FarMemTech::Pcm);
 }
 
 } // namespace

@@ -170,5 +170,23 @@ TEST_F(RunnerTest, ConfigAccessor)
     EXPECT_EQ(r.config().nmBytes, 32 * MiB);
 }
 
+TEST_F(RunnerTest, FmKnobReachesTheDevices)
+{
+    RunConfig cfg = quickCfg();
+    EXPECT_EQ(cfg.fm, dram::FarMemTech::Dram); // default
+    cfg.fm = dram::FarMemTech::Pcm;
+    EXPECT_EQ(makeSystemConfig(cfg).mem.fmTech, dram::FarMemTech::Pcm);
+
+    // End to end: the same memory-bound workload on the FM-only
+    // baseline is slower on PCM (88-cycle array reads vs DDR4's 22)
+    // and the PCM run carries the wear stats.
+    Metrics dram = simulateOne(quickCfg(), tinyWorkload(), "baseline");
+    Metrics pcm = simulateOne(cfg, tinyWorkload(), "baseline");
+    EXPECT_GT(pcm.timePs, dram.timePs);
+    EXPECT_TRUE(pcm.detail.has("fm.wearTotalBytes"));
+    EXPECT_TRUE(pcm.detail.has("fm.maxBankWearDelta"));
+    EXPECT_FALSE(dram.detail.has("fm.wearTotalBytes"));
+}
+
 } // namespace
 } // namespace h2::sim

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,7 +21,10 @@ namespace {
 std::string
 tempPath(const std::string &name)
 {
-    return ::testing::TempDir() + "h2_trace_" + name;
+    // Pid-qualified: gtest tests run as separate concurrent processes
+    // under `ctest -j`, and several share file names (valid.bin).
+    return ::testing::TempDir() + "h2_trace_" +
+           std::to_string(::getpid()) + "_" + name;
 }
 
 void
