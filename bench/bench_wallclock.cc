@@ -23,6 +23,7 @@
 #include "common/json.h"
 #include "common/log.h"
 #include "common/units.h"
+#include "sim/phase_timers.h"
 
 namespace {
 
@@ -34,6 +35,10 @@ struct PassResult
     double seconds = 0.0;
     u64 sims = 0;
     u64 accesses = 0;
+    /** Per-phase attribution (summed across the pass's simulations —
+     *  under jobs > 1 the phases overlap, so the sum can exceed
+     *  `seconds`). */
+    sim::PhaseTotals phases;
     std::map<std::string, sim::Metrics> results;
 
     double simsPerSec() const { return sims / seconds; }
@@ -43,6 +48,7 @@ struct PassResult
 PassResult
 runPass(const bench::BenchOptions &opts, u32 jobs)
 {
+    sim::phaseTimersReset();
     auto start = std::chrono::steady_clock::now();
     sim::SweepRunner runner(opts.runConfig(1 * GiB), jobs);
     runner.submitSweep(opts.suite(), sim::evaluatedDesigns(),
@@ -53,6 +59,7 @@ runPass(const bench::BenchOptions &opts, u32 jobs)
     PassResult pass;
     pass.jobs = runner.jobs();
     pass.seconds = std::chrono::duration<double>(end - start).count();
+    pass.phases = sim::phaseTimerTotals();
     pass.results = runner.results();
     pass.sims = pass.results.size();
     pass.accesses = runner.totalAccesses();
@@ -80,11 +87,18 @@ main(int argc, char **argv)
 
     bool identical = serial.results == parallel.results;
     double speedup = serial.seconds / parallel.seconds;
+    // A container with fewer hardware threads than --jobs cannot show
+    // a real parallel speedup; label the artifact machine-readably so
+    // trajectory tooling skips the bogus ratio instead of footnoting it.
+    bool parallelValid = ThreadPool::defaultConcurrency() > opts.jobs;
 
     auto passJson = [](JsonWriter &w, const PassResult &pass) {
         w.beginObject()
             .kv("jobs", pass.jobs)
             .kv("seconds", pass.seconds)
+            .kv("setup_seconds", pass.phases.setupSeconds)
+            .kv("warmup_seconds", pass.phases.warmupSeconds)
+            .kv("measure_seconds", pass.phases.measureSeconds)
             .kv("sims_per_sec", pass.simsPerSec())
             .kv("accesses_per_sec", pass.accessesPerSec())
             .endObject();
@@ -102,6 +116,7 @@ main(int argc, char **argv)
     w.key("parallel");
     passJson(w, parallel);
     w.kv("parallel_speedup", speedup)
+        .kv("parallel_valid", parallelValid)
         .kv("bit_identical", identical)
         .endObject();
     const std::string json = w.str() + "\n";
@@ -123,11 +138,17 @@ main(int argc, char **argv)
         std::printf("jobs=1:  %7.2fs  %6.2f sims/s  %.2e accesses/s\n",
                     serial.seconds, serial.simsPerSec(),
                     serial.accessesPerSec());
+        std::printf("         phases: setup %.2fs  warmup %.2fs  "
+                    "measure %.2fs\n",
+                    serial.phases.setupSeconds,
+                    serial.phases.warmupSeconds,
+                    serial.phases.measureSeconds);
         std::printf("jobs=%-2u: %7.2fs  %6.2f sims/s  %.2e accesses/s\n",
                     parallel.jobs, parallel.seconds,
                     parallel.simsPerSec(), parallel.accessesPerSec());
-        std::printf("parallel speedup: %.2fx (on %u hardware threads)\n",
-                    speedup, ThreadPool::defaultConcurrency());
+        std::printf("parallel speedup: %.2fx (on %u hardware threads%s)\n",
+                    speedup, ThreadPool::defaultConcurrency(),
+                    parallelValid ? "" : "; NOT VALID - too few threads");
         std::printf("bit-identical results: %s\n",
                     identical ? "yes" : "NO - DETERMINISM BUG");
         std::printf("wrote %s\n", outPath.c_str());

@@ -15,6 +15,7 @@
 #include "core/remap_table.h"
 #include "core/xta.h"
 #include "dram/dram_device.h"
+#include "sim/runner.h"
 #include "workloads/workload_registry.h"
 
 namespace {
@@ -44,6 +45,30 @@ BM_RemapLookup(benchmark::State &state)
         benchmark::DoNotOptimize(t.lookup(rng.below(1 << 23)));
 }
 BENCHMARK(BM_RemapLookup);
+
+/**
+ * A/B leg for the FlatMap64 pre-reserve fix: the RemapTable reserves
+ * its override maps up-front from the design bound (cache + NM-flat
+ * sectors), so lookup latency must stay flat as migration overrides
+ * accumulate — no mid-run rehash, stable probe distances. Compare the
+ * per-Arg timings: a growth-policy regression shows up as lookup cost
+ * climbing with the fill level.
+ */
+void
+BM_RemapLookupPreReserved(benchmark::State &state)
+{
+    core::RemapTable t(1 << 23, 1 << 19, 1 << 15, (1 << 23) - (1 << 19));
+    Rng rng(2);
+    const u64 fill = static_cast<u64>(state.range(0));
+    for (u64 i = 0; i < fill; ++i)
+        t.update(rng.below(1 << 23), core::Loc{false, rng.below(1 << 20)});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.lookup(rng.below(1 << 23)));
+}
+BENCHMARK(BM_RemapLookupPreReserved)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
 
 void
 BM_DramAccess(benchmark::State &state)
@@ -124,6 +149,31 @@ BM_PagePermutation(benchmark::State &state)
         benchmark::DoNotOptimize(perm.map(rng.below(1 << 22)));
 }
 BENCHMARK(BM_PagePermutation);
+
+/**
+ * A/B leg for the batched scheduler: one small multi-core simulation
+ * end to end, Arg = SystemConfig::stepBatch. Arg(1) is the scalar
+ * pick-one-record-per-dispatch loop, Arg(64) the batched default;
+ * both produce bit-identical Metrics (pinned by the equivalence
+ * suite), so the timing delta is pure dispatch overhead.
+ */
+void
+BM_BatchedDispatch(benchmark::State &state)
+{
+    const workloads::Workload &w = workloads::findWorkload("mcf");
+    sim::RunConfig cfg;
+    cfg.numCores = 4;
+    cfg.instrPerCore = 20'000;
+    cfg.warmupInstrPerCore = 0;
+    cfg.seed = 42;
+    cfg.stepBatch = static_cast<u32>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::simulateOne(cfg, w, "hybrid2"));
+}
+BENCHMARK(BM_BatchedDispatch)
+    ->Arg(1)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -13,55 +13,60 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
               cfg.name, ": size not divisible by ways*lineBytes");
     sets = static_cast<u32>(cfg.sizeBytes / (u64(cfg.ways) * cfg.lineBytes));
     h2_assert(sets > 0, cfg.name, ": zero sets");
-    lines.resize(u64(sets) * cfg.ways);
+    linePow2 = isPowerOf2(cfg.lineBytes);
+    if (linePow2)
+        lineShift = floorLog2(cfg.lineBytes);
+    setPow2 = isPowerOf2(sets);
+    if (setPow2) {
+        setShift = floorLog2(sets);
+        setMask = sets - 1;
+    }
+    u64 n = u64(sets) * cfg.ways;
+    tagLane.assign(n, kInvalidTag);
+    stampLane.assign(n, 0);
+    dirtyLane.assign(n, 0);
 }
 
-SetAssocCache::Line *
-SetAssocCache::find(Addr addr)
+u64
+SetAssocCache::findSlot(Addr addr) const
 {
     u64 block = blockIndex(addr);
     u32 set = setIndex(block);
     u64 tag = tagOf(block);
-    Line *base = &lines[u64(set) * cfg.ways];
+    u64 base = u64(set) * cfg.ways;
     for (u32 w = 0; w < cfg.ways; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    return nullptr;
-}
-
-const SetAssocCache::Line *
-SetAssocCache::find(Addr addr) const
-{
-    return const_cast<SetAssocCache *>(this)->find(addr);
+        if (tagLane[base + w] == tag)
+            return base + w;
+    return npos;
 }
 
 bool
 SetAssocCache::access(Addr addr, AccessType type)
 {
-    Line *line = find(addr);
-    if (!line) {
+    u64 slot = findSlot(addr);
+    if (slot == npos) {
         ++nMisses;
         return false;
     }
     ++nHits;
     if (cfg.repl == ReplPolicy::Lru)
-        line->stamp = ++clock;
+        stampLane[slot] = ++clock;
     if (type == AccessType::Write)
-        line->dirty = true;
+        dirtyLane[slot] = 1;
     return true;
 }
 
 bool
 SetAssocCache::probe(Addr addr) const
 {
-    return find(addr) != nullptr;
+    return findSlot(addr) != npos;
 }
 
 bool
 SetAssocCache::probeDirty(Addr addr) const
 {
-    const Line *line = find(addr);
-    return line && line->dirty;
+    u64 slot = findSlot(addr);
+    return slot != npos && dirtyLane[slot];
 }
 
 std::optional<Eviction>
@@ -70,51 +75,49 @@ SetAssocCache::insert(Addr addr, bool dirty)
     h2_assert(!probe(addr), cfg.name, ": double insert of addr ", addr);
     u64 block = blockIndex(addr);
     u32 set = setIndex(block);
-    Line *base = &lines[u64(set) * cfg.ways];
+    u64 base = u64(set) * cfg.ways;
 
-    u64 stamps[64];
     bool valids[64];
     h2_assert(cfg.ways <= 64, cfg.name, ": >64 ways unsupported");
-    for (u32 w = 0; w < cfg.ways; ++w) {
-        stamps[w] = base[w].stamp;
-        valids[w] = base[w].valid;
-    }
-    u32 victim = selectVictim(cfg.repl, stamps, valids, cfg.ways, ++clock);
+    for (u32 w = 0; w < cfg.ways; ++w)
+        valids[w] = tagLane[base + w] != kInvalidTag;
+    u32 victim = selectVictim(cfg.repl, &stampLane[base], valids,
+                              cfg.ways, ++clock);
 
     std::optional<Eviction> evicted;
-    Line &slot = base[victim];
-    if (slot.valid) {
+    u64 slot = base + victim;
+    if (tagLane[slot] != kInvalidTag) {
         ++nEvictions;
-        if (slot.dirty)
+        if (dirtyLane[slot])
             ++nDirtyEvictions;
-        evicted = Eviction{lineAddr(set, slot.tag), slot.dirty};
+        evicted = Eviction{lineAddr(set, tagLane[slot]),
+                           dirtyLane[slot] != 0};
     }
-    slot.valid = true;
-    slot.dirty = dirty;
-    slot.tag = tagOf(block);
-    slot.stamp = ++clock;
+    tagLane[slot] = tagOf(block);
+    dirtyLane[slot] = dirty ? 1 : 0;
+    stampLane[slot] = ++clock;
     return evicted;
 }
 
 std::optional<bool>
 SetAssocCache::invalidate(Addr addr)
 {
-    Line *line = find(addr);
-    if (!line)
+    u64 slot = findSlot(addr);
+    if (slot == npos)
         return std::nullopt;
-    bool wasDirty = line->dirty;
-    line->valid = false;
-    line->dirty = false;
-    line->stamp = 0;
+    bool wasDirty = dirtyLane[slot] != 0;
+    tagLane[slot] = kInvalidTag;
+    dirtyLane[slot] = 0;
+    stampLane[slot] = 0;
     return wasDirty;
 }
 
 void
 SetAssocCache::setDirty(Addr addr)
 {
-    Line *line = find(addr);
-    h2_assert(line, cfg.name, ": setDirty on absent line ", addr);
-    line->dirty = true;
+    u64 slot = findSlot(addr);
+    h2_assert(slot != npos, cfg.name, ": setDirty on absent line ", addr);
+    dirtyLane[slot] = 1;
 }
 
 u32
@@ -131,8 +134,8 @@ u64
 SetAssocCache::numValidLines() const
 {
     u64 n = 0;
-    for (const auto &line : lines)
-        if (line.valid)
+    for (u64 tag : tagLane)
+        if (tag != kInvalidTag)
             ++n;
     return n;
 }

@@ -87,28 +87,53 @@ class SetAssocCache
     void collectStats(StatSet &out, const std::string &prefix) const;
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        u64 stamp = 0;
-    };
+    /** Slot index meaning "not present". */
+    static constexpr u64 npos = ~u64(0);
+    /** Tag-lane value of an invalid way. Real tags are block/sets and
+     *  stay far below 2^64 for any addressable capacity, so the
+     *  all-ones pattern is free to mean "invalid" — the hit scan then
+     *  needs no separate valid bit. */
+    static constexpr u64 kInvalidTag = ~u64(0);
 
-    u64 blockIndex(Addr addr) const { return addr / cfg.lineBytes; }
-    u32 setIndex(u64 block) const { return static_cast<u32>(block % sets); }
-    u64 tagOf(u64 block) const { return block / sets; }
+    // Hot-path index math: every lookup needs block/set/tag, so the
+    // usual power-of-two geometries fold the div/mod into shift/mask
+    // at construction (cf. DramDevice::decode); exotic sizes keep the
+    // exact div/mod fallback.
+    u64
+    blockIndex(Addr addr) const
+    {
+        return linePow2 ? addr >> lineShift : addr / cfg.lineBytes;
+    }
+    u32
+    setIndex(u64 block) const
+    {
+        return static_cast<u32>(setPow2 ? block & setMask : block % sets);
+    }
+    u64
+    tagOf(u64 block) const
+    {
+        return setPow2 ? block >> setShift : block / sets;
+    }
     Addr lineAddr(u32 set, u64 tag) const
     {
         return (tag * sets + set) * u64(cfg.lineBytes);
     }
-    Line *find(Addr addr);
-    const Line *find(Addr addr) const;
+    u64 findSlot(Addr addr) const;
 
     CacheParams cfg;
     u32 sets;
-    std::vector<Line> lines; ///< sets * ways, way-major within a set
-    u64 clock = 0;           ///< recency stamp source
+    bool linePow2 = false;
+    bool setPow2 = false;
+    u32 lineShift = 0;
+    u32 setShift = 0;
+    u64 setMask = 0;
+    // Struct-of-arrays tag store, sets * ways each, way-major within a
+    // set: the hit scan touches only the contiguous tag lane; dirty
+    // and recency live in parallel lanes paid for only on hit/victim.
+    std::vector<u64> tagLane;
+    std::vector<u64> stampLane;
+    std::vector<u8> dirtyLane;
+    u64 clock = 0; ///< recency stamp source
     u64 nHits = 0;
     u64 nMisses = 0;
     u64 nEvictions = 0;

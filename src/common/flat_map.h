@@ -4,12 +4,18 @@
  *
  * The remap / inverted-remap tables sit on the per-access hot path and
  * were the last remaining users of std::unordered_map there. This table
- * replaces them: one flat slot array, power-of-two capacity, SplitMix64
- * hashing with linear probing, no per-node allocation, and no erase
- * support (the remap tables only ever insert or overwrite).
+ * replaces them: flat key and value lanes (struct-of-arrays, so the
+ * probe walk streams over 8-byte keys only), power-of-two capacity,
+ * SplitMix64 hashing with linear probing, no per-node allocation, and
+ * no erase support (the remap tables only ever insert or overwrite).
  *
  * The all-ones key is reserved as the empty-slot sentinel; callers index
  * sectors/locations, which are always far below 2^64 - 1.
+ *
+ * Capacity only affects probe paths, never results, so callers that
+ * know their steady-state population (RemapTable does: it is bounded
+ * by the NM sector count) can call reserveExact() up-front and never
+ * pay a rehash mid-run.
  */
 
 #pragma once
@@ -30,50 +36,62 @@ class FlatMap64
     /** @param expectedEntries sizing hint; the table grows as needed. */
     explicit FlatMap64(u64 expectedEntries = 0)
     {
-        slots.resize(capacityFor(expectedEntries));
+        growTo(capacityFor(expectedEntries));
     }
 
     /** Pointer to @p key's value, or nullptr when absent. */
     const V *
     find(u64 key) const
     {
-        const Slot &s = slots[probe(key)];
-        return s.key == key ? &s.value : nullptr;
+        u64 i = probe(key);
+        return keyLane[i] == key ? &valueLane[i] : nullptr;
     }
 
     V *
     find(u64 key)
     {
-        Slot &s = slots[probe(key)];
-        return s.key == key ? &s.value : nullptr;
+        u64 i = probe(key);
+        return keyLane[i] == key ? &valueLane[i] : nullptr;
     }
 
     /** Insert @p key or overwrite its existing value. */
     void
     set(u64 key, V value)
     {
-        Slot *s = &slots[probe(key)];
-        if (s->key == kEmpty) {
-            if ((count + 1) * 10 > slots.size() * 7) {
-                grow();
-                s = &slots[probe(key)];
+        u64 i = probe(key);
+        if (keyLane[i] == kEmpty) {
+            if ((count + 1) * 10 > keyLane.size() * 7) {
+                growTo(keyLane.size() * 2);
+                i = probe(key);
             }
-            s->key = key;
+            keyLane[i] = key;
             ++count;
         }
-        s->value = std::move(value);
+        valueLane[i] = std::move(value);
+    }
+
+    /**
+     * Size the table for @p expectedEntries up-front, ignoring the
+     * sizing-hint cap: capacity becomes the smallest power of two
+     * keeping the load factor under 70%, so a population up to the
+     * bound never triggers a mid-run rehash. Never shrinks; existing
+     * entries are preserved.
+     */
+    void
+    reserveExact(u64 expectedEntries)
+    {
+        u64 want = expectedEntries + expectedEntries / 2 + 1;
+        u64 cap = 16;
+        while (cap < want)
+            cap <<= 1;
+        if (cap > keyLane.size())
+            growTo(cap);
     }
 
     u64 size() const { return count; }
-    u64 capacity() const { return slots.size(); }
+    u64 capacity() const { return keyLane.size(); }
 
   private:
-    struct Slot
-    {
-        u64 key = kEmpty;
-        V value{};
-    };
-
     static constexpr u64 kEmpty = ~u64(0);
 
     static u64
@@ -81,7 +99,8 @@ class FlatMap64
     {
         // Headroom for a <=70% load factor, capped so sparse use of a
         // huge domain (all-to-all remap tables) stays cheap; the table
-        // doubles on demand past the cap.
+        // doubles on demand past the cap, and reserveExact() lifts the
+        // cap for callers with a known bound.
         u64 want = expected + expected / 2 + 1;
         want = std::min<u64>(want, u64(1) << 16);
         u64 cap = 16;
@@ -96,29 +115,31 @@ class FlatMap64
     {
         // Without this, find(kEmpty) would "hit" an empty slot.
         h2_assert(key != kEmpty, "FlatMap64 key reserved for empty slots");
-        u64 mask = slots.size() - 1;
+        u64 mask = keyLane.size() - 1;
         u64 idx = splitmix64(key) & mask;
-        while (slots[idx].key != key && slots[idx].key != kEmpty)
+        while (keyLane[idx] != key && keyLane[idx] != kEmpty)
             idx = (idx + 1) & mask;
         return idx;
     }
 
     void
-    grow()
+    growTo(u64 newCapacity)
     {
-        std::vector<Slot> old = std::move(slots);
-        slots.clear();
-        slots.resize(old.size() * 2);
-        for (Slot &s : old) {
-            if (s.key == kEmpty)
+        std::vector<u64> oldKeys = std::move(keyLane);
+        std::vector<V> oldValues = std::move(valueLane);
+        keyLane.assign(newCapacity, kEmpty);
+        valueLane.assign(newCapacity, V{});
+        for (u64 i = 0; i < oldKeys.size(); ++i) {
+            if (oldKeys[i] == kEmpty)
                 continue;
-            Slot &fresh = slots[probe(s.key)];
-            fresh.key = s.key;
-            fresh.value = std::move(s.value);
+            u64 idx = probe(oldKeys[i]);
+            keyLane[idx] = oldKeys[i];
+            valueLane[idx] = std::move(oldValues[i]);
         }
     }
 
-    std::vector<Slot> slots;
+    std::vector<u64> keyLane;
+    std::vector<V> valueLane;
     u64 count = 0;
 };
 

@@ -262,10 +262,10 @@ XtaEntry *
 Dcmc::prepareWay(u64 flatSector, mem::Timeline &tl)
 {
     XtaEntry *way = tags.victimWay(flatSector);
-    if (way->valid) {
+    if (tags.entryValid(*way)) {
         u64 victimFlat = tags.flatSectorOf(tags.setOf(flatSector), *way);
         evictEntry(victimFlat, *way, tl);
-        way->valid = false;
+        tags.releaseWay(*way);
     }
     return way;
 }
@@ -418,7 +418,7 @@ Dcmc::checkInvariants() const
     for (u64 set = 0; set < tags.numSets(); ++set) {
         for (u32 w = 0; w < tags.numWays(); ++w) {
             const XtaEntry &e = tags.entryAt(set, w);
-            if (!e.valid)
+            if (!tags.entryValid(e))
                 continue;
             u64 flat = tags.flatSectorOf(set, e);
             h2_assert(nmLocsSeen.insert(e.nmLoc).second,

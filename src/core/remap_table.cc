@@ -12,6 +12,13 @@ RemapTable::RemapTable(u64 flatSectors, u64 nmFlatSectors, u64 cacheSectors,
 {
     h2_assert(nFlat == nNmFlat + nFm,
               "flat space must be NM flat region + FM");
+    // Migration churn is NM-scale: the steady-state override
+    // population tracks the NM sector count, which the layout passed
+    // in here knows exactly. Reserving it up-front means the tables
+    // never rehash mid-run (the table still grows if a long run
+    // accumulates stale FM-resident overrides past the bound).
+    remapOverride.reserveExact(nCache + nNmFlat);
+    invOverride.reserveExact(nCache + nNmFlat);
 }
 
 Loc

@@ -18,20 +18,20 @@ Xta::Xta(u64 numSectors, u32 ways, u32 linesPerSector)
     sets = u64(1) << floorLog2(numSectors / ways);
     setShift = floorLog2(sets);
     setMask = sets - 1;
+    tagLane.assign(sets * waysN, kInvalidTag);
     entries.resize(sets * waysN);
 }
 
 XtaEntry *
 Xta::find(u64 flatSector)
 {
-    u64 set = setOf(flatSector);
     u64 tag = tagOf(flatSector);
-    XtaEntry *base = &entries[set * waysN];
+    u64 base = setOf(flatSector) * waysN;
     for (u32 w = 0; w < waysN; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
+        if (tagLane[base + w] == tag) {
             ++nHits;
-            base[w].lruStamp = ++clock;
-            return &base[w];
+            entries[base + w].lruStamp = ++clock;
+            return &entries[base + w];
         }
     }
     ++nMisses;
@@ -41,35 +41,32 @@ Xta::find(u64 flatSector)
 const XtaEntry *
 Xta::peek(u64 flatSector) const
 {
-    u64 set = setOf(flatSector);
     u64 tag = tagOf(flatSector);
-    const XtaEntry *base = &entries[set * waysN];
+    u64 base = setOf(flatSector) * waysN;
     for (u32 w = 0; w < waysN; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
+        if (tagLane[base + w] == tag)
+            return &entries[base + w];
     return nullptr;
 }
 
 XtaEntry *
 Xta::victimWay(u64 flatSector)
 {
-    u64 set = setOf(flatSector);
-    XtaEntry *base = &entries[set * waysN];
-    XtaEntry *victim = &base[0];
+    u64 base = setOf(flatSector) * waysN;
+    u32 victim = 0;
     for (u32 w = 0; w < waysN; ++w) {
-        if (!base[w].valid)
-            return &base[w];
-        if (base[w].lruStamp < victim->lruStamp)
-            victim = &base[w];
+        if (tagLane[base + w] == kInvalidTag)
+            return &entries[base + w];
+        if (entries[base + w].lruStamp < entries[base + victim].lruStamp)
+            victim = w;
     }
-    return victim;
+    return &entries[base + victim];
 }
 
 void
 Xta::fill(u64 flatSector, XtaEntry &entry)
 {
-    entry.valid = true;
-    entry.tag = tagOf(flatSector);
+    tagLane[indexOf(entry)] = tagOf(flatSector);
     entry.validMask = 0;
     entry.dirtyMask = 0;
     entry.accessCounter = 0;

@@ -26,11 +26,15 @@
 
 namespace h2::core {
 
-/** One XTA entry (Figure 4 of the paper). */
+/** Payload of one XTA entry (Figure 4 of the paper).
+ *
+ *  The presence bit and the tag do NOT live here: they sit in the
+ *  Xta's contiguous tag lane (struct-of-arrays), so the per-access
+ *  way scan touches one cache line of tags instead of striding over
+ *  full entries. Use Xta::entryValid / Xta::entryTag to read them and
+ *  Xta::releaseWay to invalidate. */
 struct XtaEntry
 {
-    bool valid = false;
-    u64 tag = 0;          ///< flatSector / numSets
     u64 validMask = 0;    ///< per-line presence in NM
     u64 dirtyMask = 0;    ///< per-line dirtiness
     u32 accessCounter = 0;
@@ -62,10 +66,28 @@ class Xta
     u64 setOf(u64 flatSector) const { return flatSector & setMask; }
     u64 tagOf(u64 flatSector) const { return flatSector >> setShift; }
     u64
+    flatSectorOf(u64 set, u64 tag) const
+    {
+        return (tag << setShift) | set;
+    }
+    u64
     flatSectorOf(u64 set, const XtaEntry &e) const
     {
-        return (e.tag << setShift) | set;
+        return flatSectorOf(set, entryTag(e));
     }
+
+    /** Presence bit of an in-array entry (lives in the tag lane). */
+    bool
+    entryValid(const XtaEntry &e) const
+    {
+        return tagLane[indexOf(e)] != kInvalidTag;
+    }
+
+    /** Tag of an in-array entry (lives in the tag lane). */
+    u64 entryTag(const XtaEntry &e) const { return tagLane[indexOf(e)]; }
+
+    /** Invalidate an in-array entry (clears its tag-lane slot). */
+    void releaseWay(XtaEntry &e) { tagLane[indexOf(e)] = kInvalidTag; }
 
     /** Find the entry for @p flatSector; refreshes LRU on hit. */
     XtaEntry *find(u64 flatSector);
@@ -96,11 +118,11 @@ class Xta
     void
     forOthersInSet(u64 flatSector, const XtaEntry &self, Fn &&fn) const
     {
-        u64 set = setOf(flatSector);
-        const XtaEntry *base = &entries[set * waysN];
+        u64 base = setOf(flatSector) * waysN;
+        u64 selfIdx = indexOf(self);
         for (u32 w = 0; w < waysN; ++w)
-            if (base[w].valid && &base[w] != &self)
-                fn(base[w]);
+            if (tagLane[base + w] != kInvalidTag && base + w != selfIdx)
+                fn(entries[base + w]);
     }
 
     /** Estimated on-chip SRAM footprint of the array in bytes
@@ -121,11 +143,22 @@ class Xta
     void collectStats(StatSet &out, const std::string &prefix) const;
 
   private:
+    /** Tag-lane value of an invalid way. Real tags are
+     *  flatSector >> setShift and stay far below 2^64 for any
+     *  modeled capacity, so all-ones doubles as the absent marker. */
+    static constexpr u64 kInvalidTag = ~u64(0);
+
+    u64 indexOf(const XtaEntry &e) const { return u64(&e - entries.data()); }
+
     u64 sets;
     u32 setShift;
     u64 setMask;
     u32 waysN;
     u32 lps;
+    /** Contiguous tags (way-major within a set): the hot way scan
+     *  reads only this lane; the payload in @c entries is touched
+     *  only on a hit or for the chosen victim. */
+    std::vector<u64> tagLane;
     std::vector<XtaEntry> entries;
     u64 clock = 0;
     u64 nHits = 0;

@@ -41,8 +41,8 @@ DramDevice::DramDevice(const DramParams &params)
 }
 
 Tick
-DramDevice::chunkDone(const Bank &bank, u64 row, Tick busUntil, u32 bytes,
-                      Tick start) const
+DramDevice::chunkDone(const BankState &bank, u64 row, Tick busUntil,
+                      u32 bytes, Tick start) const
 {
     u32 latCycles;
     if (bank.open && bank.row == row)
@@ -63,8 +63,9 @@ DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
     u32 chIdx;
     u64 bankIdx, row;
     decode(addr, chIdx, bankIdx, row);
-    Channel &ch = channels[chIdx];
-    Bank &bank = ch.banks[bankIdx];
+    ChannelState &ch = channels[chIdx];
+    BankState &bank = ch.banks[bankIdx];
+    DramStats &counters = ch.stats;
 
     Tick start = std::max(now, bank.readyAt);
     if (bank.open && bank.row == row) {
@@ -84,8 +85,8 @@ DramDevice::accessChunk(Addr addr, u32 bytes, AccessType type, Tick now)
     ch.busUntil = dataEnd;
     ch.busyAccum += burstClocks(bytes) * cfg.clockPs;
     bank.readyAt = dataEnd;
-    if (dataEnd > lastTick)
-        lastTick = dataEnd;
+    if (dataEnd > ch.lastTick)
+        ch.lastTick = dataEnd;
 
     if (type == AccessType::Read) {
         ++counters.reads;
@@ -131,8 +132,8 @@ DramDevice::probeChunkDone(Addr addr, u32 bytes, Tick start) const
     u32 chIdx;
     u64 bankIdx, row;
     decode(addr, chIdx, bankIdx, row);
-    const Channel &ch = channels[chIdx];
-    const Bank &bank = ch.banks[bankIdx];
+    const ChannelState &ch = channels[chIdx];
+    const BankState &bank = ch.banks[bankIdx];
     return chunkDone(bank, row, ch.busUntil,
                      bytes, std::max(start, bank.readyAt));
 }
@@ -148,7 +149,7 @@ DramDevice::probeLatency(Addr addr, u32 bytes, Tick now,
     // shortcut diverged from access() for requests starting inside an
     // interleave block: it sized the first burst from the request
     // length instead of the distance to the chunk boundary.)
-    struct BankPatch { u32 ch; u64 bank; Bank state; };
+    struct BankPatch { u32 ch; u64 bank; BankState state; };
     struct BusPatch { u32 ch; Tick busUntil; };
     std::vector<BankPatch> bankPatches;
     std::vector<BusPatch> busPatches;
@@ -163,7 +164,7 @@ DramDevice::probeLatency(Addr addr, u32 bytes, Tick now,
         u32 chIdx;
         u64 bankIdx, row;
         decode(cur, chIdx, bankIdx, row);
-        Bank bank = channels[chIdx].banks[bankIdx];
+        BankState bank = channels[chIdx].banks[bankIdx];
         for (const BankPatch &p : bankPatches)
             if (p.ch == chIdx && p.bank == bankIdx)
                 bank = p.state;
@@ -204,11 +205,40 @@ DramDevice::probeLatency(Addr addr, u32 bytes, Tick now,
     return done - now;
 }
 
+DramStats
+DramDevice::stats() const
+{
+    DramStats s;
+    for (const ChannelState &ch : channels) {
+        s.reads += ch.stats.reads;
+        s.writes += ch.stats.writes;
+        s.bytesRead += ch.stats.bytesRead;
+        s.bytesWritten += ch.stats.bytesWritten;
+        s.rowHits += ch.stats.rowHits;
+        s.rowMisses += ch.stats.rowMisses;
+        s.rowEmpty += ch.stats.rowEmpty;
+        s.activations += ch.stats.activations;
+        s.readEnergyPj += ch.stats.readEnergyPj;
+        s.writeEnergyPj += ch.stats.writeEnergyPj;
+        s.actEnergyPj += ch.stats.actEnergyPj;
+    }
+    return s;
+}
+
+Tick
+DramDevice::lastActivity() const
+{
+    Tick t = 0;
+    for (const ChannelState &ch : channels)
+        t = std::max(t, ch.lastTick);
+    return t;
+}
+
 double
 DramDevice::dynamicEnergyPj() const
 {
-    return counters.readEnergyPj + counters.writeEnergyPj
-        + counters.actEnergyPj;
+    DramStats s = stats();
+    return s.readEnergyPj + s.writeEnergyPj + s.actEnergyPj;
 }
 
 u64
@@ -251,19 +281,21 @@ DramDevice::busUtilization(Tick now) const
 void
 DramDevice::resetStats()
 {
-    counters = DramStats{};
-    for (auto &ch : channels)
+    for (auto &ch : channels) {
+        ch.stats = DramStats{};
         ch.busyAccum = 0;
+    }
     std::fill(wearBytes.begin(), wearBytes.end(), 0);
     // The utilization window restarts with the busy accumulator: a
     // warm-up reset must not divide post-warm-up busy time by a
     // denominator that still spans warm-up.
-    statsSince = lastTick;
+    statsSince = lastActivity();
 }
 
 void
 DramDevice::collectStats(StatSet &out, const std::string &prefix) const
 {
+    DramStats counters = stats();
     out.add(prefix + ".reads", double(counters.reads));
     out.add(prefix + ".writes", double(counters.writes));
     out.add(prefix + ".bytesRead", double(counters.bytesRead));

@@ -40,10 +40,44 @@ struct DramStats
     u64 totalBytes() const { return bytesRead + bytesWritten; }
 };
 
+/** One bank's open-row and availability state. */
+struct BankState
+{
+    bool open = false;
+    u64 row = 0;
+    Tick readyAt = 0;
+};
+
+/**
+ * Per-channel shard of a DramDevice's mutable state: bus occupancy,
+ * bank state, and this channel's slice of the traffic/energy counters.
+ *
+ * The shard is the device's threading seam. An access chunk touches
+ * exactly one shard (chunks never cross an interleave boundary), so
+ * the controller may advance the write queues of *different* channels
+ * from different threads without synchronization — each worker mutates
+ * only its own shard. Aggregation (DramDevice::stats() and friends)
+ * walks the shards in channel order on the coordinating thread, so
+ * serial and sharded execution produce identical totals.
+ *
+ * Internals are reachable only from src/dram and src/mem (enforced by
+ * h2lint rule R1): everything else reads the aggregated DramStats.
+ */
+struct ChannelState
+{
+    Tick busUntil = 0;
+    Tick busyAccum = 0; ///< total data-bus occupancy, for utilization
+    Tick lastTick = 0;  ///< latest chunk completion on this channel
+    std::vector<BankState> banks;
+    DramStats stats;    ///< this channel's slice of the device counters
+};
+
 /**
  * One DRAM device: a group of channels sharing geometry and timing.
- * Thread-compatible (no internal synchronization); the simulator is
- * single-threaded per system.
+ * No internal synchronization, but all mutable state is sharded per
+ * channel (ChannelState); callers that never touch the same channel
+ * from two threads at once — the queued controller's parallel drain —
+ * may advance channels concurrently.
  */
 class DramDevice
 {
@@ -105,7 +139,7 @@ class DramDevice
         u32 ch;
         u64 bank, row;
         decode(addr, ch, bank, row);
-        const Bank &b = channels[ch].banks[bank];
+        const BankState &b = channels[ch].banks[bank];
         return b.open && b.row == row;
     }
 
@@ -151,7 +185,11 @@ class DramDevice
     }
 
     const DramParams &params() const { return cfg; }
-    const DramStats &stats() const { return counters; }
+
+    /** Aggregate traffic/energy counters: the per-channel slices
+     *  summed in channel order (deterministic regardless of how many
+     *  threads advanced the shards). */
+    DramStats stats() const;
 
     /**
      * Dynamic energy consumed since the last resetStats(), in
@@ -186,7 +224,7 @@ class DramDevice
     /** busUtilization over [statsSince, last activity seen] — the
      *  window stats collection uses when no external clock is at
      *  hand. */
-    double busUtilization() const { return busUtilization(lastTick); }
+    double busUtilization() const { return busUtilization(lastActivity()); }
 
     /** Tick stats have accumulated since (last resetStats, or 0). */
     Tick statsSinceTick() const { return statsSince; }
@@ -197,20 +235,6 @@ class DramDevice
     void collectStats(StatSet &out, const std::string &prefix) const;
 
   private:
-    struct Bank
-    {
-        bool open = false;
-        u64 row = 0;
-        Tick readyAt = 0;
-    };
-
-    struct Channel
-    {
-        Tick busUntil = 0;
-        Tick busyAccum = 0; ///< total data-bus occupancy, for utilization
-        std::vector<Bank> banks;
-    };
-
     /** Shift/mask view of the geometry, precomputed at construction. */
     struct Geometry
     {
@@ -241,18 +265,21 @@ class DramDevice
 
     /** Chunk completion given explicit bank/bus state (shared by the
      *  mutable path's arithmetic and the const probes). */
-    Tick chunkDone(const Bank &bank, u64 row, Tick busUntil, u32 bytes,
-                   Tick start) const;
+    Tick chunkDone(const BankState &bank, u64 row, Tick busUntil,
+                   u32 bytes, Tick start) const;
+
+    /** Latest activity (chunk completion) across all shards. */
+    Tick lastActivity() const;
 
     DramParams cfg;
     Geometry geo;
-    std::vector<Channel> channels;
-    DramStats counters;
+    std::vector<ChannelState> channels;
     /** Per-bank written-bytes wear counters, indexed
-     *  [channel * banksPerChannel + bank]; empty unless trackWear. */
+     *  [channel * banksPerChannel + bank]; empty unless trackWear.
+     *  Flat but shard-safe: a channel's workers touch only its own
+     *  index range. */
     std::vector<u64> wearBytes;
     Tick statsSince = 0; ///< window start for busUtilization
-    Tick lastTick = 0;   ///< latest activity (chunk completion) seen
 };
 
 } // namespace h2::dram

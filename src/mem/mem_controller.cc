@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace h2::mem {
 
 MemController::MemController(dram::DramDevice &device,
-                             const QueueParams &params)
-    : dev(device), cfg(params)
+                             const QueueParams &params,
+                             ThreadPool *workerPool)
+    : dev(device), cfg(params), pool(workerPool),
+      ilvMask(u64(device.params().interleaveBytes) - 1)
 {
     h2_assert(cfg.writeLowWatermark < cfg.writeHighWatermark,
               "write-drain watermarks must satisfy low < high (got low=",
@@ -16,6 +19,8 @@ MemController::MemController(dram::DramDevice &device,
     u32 n = dev.channelCount();
     writeQ.resize(n);
     inflight.resize(n);
+    rowHitBypassCh.assign(n, 0);
+    writeDelayCh.resize(n);
     readDepth.reserve(n);
     writeDepth.reserve(n);
     for (u32 c = 0; c < n; ++c) {
@@ -50,7 +55,7 @@ MemController::dispatchWrite(u32 ch, size_t idx, Tick issueTick)
 {
     QueuedWrite w = writeQ[ch][idx];
     writeQ[ch].erase(writeQ[ch].begin() + idx);
-    writeDelay.sample(
+    writeDelayCh[ch].sample(
         double(issueTick > w.readyAt ? issueTick - w.readyAt : 0));
     Tick done = dev.access(w.addr, w.bytes, AccessType::Write, issueTick);
     trackInflight(ch, done);
@@ -72,7 +77,7 @@ MemController::idleDrain(u32 ch, Tick now)
         if (dev.probeChunkDone(w.addr, w.bytes, issueTick) > now)
             break;
         if (bypass)
-            ++nRowHitBypasses;
+            ++rowHitBypassCh[ch];
         dispatchWrite(ch, idx, issueTick);
     }
 }
@@ -86,7 +91,7 @@ MemController::forcedDrain(u32 ch, Tick now)
         bool bypass = false;
         size_t idx = pickFrFcfs(q, bypass);
         if (bypass)
-            ++nRowHitBypasses;
+            ++rowHitBypassCh[ch];
         dispatchWrite(ch, idx, now);
     }
 }
@@ -124,7 +129,7 @@ MemController::access(Addr addr, u32 bytes, AccessType type, Tick now)
     u64 remaining = bytes;
     const u32 ilv = dev.params().interleaveBytes;
     while (remaining > 0) {
-        u64 inChunk = ilv - (cur % ilv);
+        u64 inChunk = ilv - (cur & ilvMask);
         u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
         u32 ch;
         u64 bank, row;
@@ -149,7 +154,7 @@ MemController::access(Addr addr, u32 bytes, AccessType type, Tick now)
     cur = addr;
     remaining = bytes;
     while (remaining > 0) {
-        u64 inChunk = ilv - (cur % ilv);
+        u64 inChunk = ilv - (cur & ilvMask);
         u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
         u32 ch;
         u64 bank, row;
@@ -174,7 +179,7 @@ MemController::post(Addr addr, u32 bytes, Tick readyAt)
     u64 remaining = bytes;
     const u32 ilv = dev.params().interleaveBytes;
     while (remaining > 0) {
-        u64 inChunk = ilv - (cur % ilv);
+        u64 inChunk = ilv - (cur & ilvMask);
         u32 take = static_cast<u32>(std::min<u64>(inChunk, remaining));
         u32 ch;
         u64 bank, row;
@@ -193,20 +198,46 @@ MemController::post(Addr addr, u32 bytes, Tick readyAt)
 }
 
 Tick
-MemController::drainAll(Tick now)
+MemController::drainChannel(u32 ch, Tick now)
 {
     Tick last = now;
-    for (u32 ch = 0; ch < writeQ.size(); ++ch) {
-        auto &q = writeQ[ch];
-        while (!q.empty()) {
-            bool bypass = false;
-            size_t idx = pickFrFcfs(q, bypass);
-            if (bypass)
-                ++nRowHitBypasses;
-            Tick issueTick = std::max(now, q[idx].readyAt);
-            last = std::max(last, dispatchWrite(ch, idx, issueTick));
-        }
+    auto &q = writeQ[ch];
+    while (!q.empty()) {
+        bool bypass = false;
+        size_t idx = pickFrFcfs(q, bypass);
+        if (bypass)
+            ++rowHitBypassCh[ch];
+        Tick issueTick = std::max(now, q[idx].readyAt);
+        last = std::max(last, dispatchWrite(ch, idx, issueTick));
     }
+    return last;
+}
+
+Tick
+MemController::drainAll(Tick now)
+{
+    u32 n = static_cast<u32>(writeQ.size());
+    std::vector<Tick> lastPerCh(n, now);
+    if (pool && pool->size() > 1 && n > 1) {
+        // Each worker advances exactly one channel: its write queue,
+        // its ChannelState shard inside the device, and its stat
+        // shards. Queued entries never cross an interleave boundary,
+        // so no dispatch touches another channel's state; every stat
+        // a drain mutates is per-channel, so the only shared step is
+        // the fixed-order reduction below — identical to the serial
+        // path bit for bit.
+        for (u32 ch = 0; ch < n; ++ch)
+            pool->submit([this, ch, now, &lastPerCh] {
+                lastPerCh[ch] = drainChannel(ch, now);
+            });
+        pool->drain();
+    } else {
+        for (u32 ch = 0; ch < n; ++ch)
+            lastPerCh[ch] = drainChannel(ch, now);
+    }
+    Tick last = now;
+    for (Tick t : lastPerCh)
+        last = std::max(last, t);
     return last;
 }
 
@@ -217,6 +248,29 @@ MemController::queuedWrites() const
     for (const auto &q : writeQ)
         n += q.size();
     return n;
+}
+
+u64
+MemController::rowHitBypasses() const
+{
+    u64 n = 0;
+    for (u64 c : rowHitBypassCh)
+        n += c;
+    return n;
+}
+
+double
+MemController::avgWriteQueueDelayPs() const
+{
+    // Counts and tick sums are exact (integer-valued doubles), so the
+    // channel-order merge reproduces the chronological mean exactly.
+    u64 n = 0;
+    double total = 0.0;
+    for (const Distribution &d : writeDelayCh) {
+        n += d.count();
+        total += d.sum();
+    }
+    return n ? total / n : 0.0;
 }
 
 const Histogram &
@@ -236,9 +290,10 @@ MemController::resetStats()
 {
     nReads = 0;
     nDrainEpisodes = 0;
-    nRowHitBypasses = 0;
+    std::fill(rowHitBypassCh.begin(), rowHitBypassCh.end(), 0);
     readDelay.reset();
-    writeDelay.reset();
+    for (auto &d : writeDelayCh)
+        d.reset();
     readDepthDist.reset();
     writeDepthDist.reset();
     for (auto &h : readDepth)
@@ -253,7 +308,7 @@ MemController::collectStats(StatSet &out, const std::string &prefix) const
     out.add(prefix + ".avgReadQueueDelayPs", avgReadQueueDelayPs());
     out.add(prefix + ".avgWriteQueueDelayPs", avgWriteQueueDelayPs());
     out.add(prefix + ".drainEpisodes", double(nDrainEpisodes));
-    out.add(prefix + ".rowHitBypasses", double(nRowHitBypasses));
+    out.add(prefix + ".rowHitBypasses", double(rowHitBypasses()));
     out.add(prefix + ".queuedWrites", double(queuedWrites()));
     out.add(prefix + ".readDepthMean", readDepthDist.mean());
     out.add(prefix + ".readDepthMax", readDepthDist.max());

@@ -14,15 +14,7 @@ AddressMap::AddressMap(u64 flatBytes, u64 virtualBytes, u64 seed)
               "workload footprint exceeds flat memory capacity (",
               virtualBytes, " > ", flatBytes,
               "); the paper does not model page faults");
-}
-
-Addr
-AddressMap::toPhysical(Addr globalVaddr) const
-{
-    h2_assert(globalVaddr < virtSize, "virtual address out of footprint");
-    u64 vpage = globalVaddr / pageBytes;
-    u64 ppage = perm.map(vpage);
-    return ppage * u64(pageBytes) + globalVaddr % pageBytes;
+    pageLane.assign(ceilDiv(virtSize, u64(pageBytes)), kUnmapped);
 }
 
 CoreModel::CoreModel(CoreId coreId, const CoreParams &params,
@@ -36,6 +28,7 @@ CoreModel::CoreModel(CoreId coreId, const CoreParams &params,
       budget(instrBudget)
 {
     h2_assert(p.issueWidth > 0 && p.maxOutstanding > 0, "bad core params");
+    pending.init(p.maxOutstanding);
 }
 
 void
@@ -84,6 +77,17 @@ CoreModel::step()
         memory.access(*res.writeback, AccessType::Write, clock);
 }
 
+u32
+CoreModel::stepBatch(u64 instrTarget, Tick nowLimit, u32 maxSteps)
+{
+    u32 n = 0;
+    while (n < maxSteps && instrs < instrTarget && clock < nowLimit) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
 void
 CoreModel::beginMeasurement()
 {
@@ -95,8 +99,8 @@ CoreModel::beginMeasurement()
 void
 CoreModel::drain()
 {
-    for (const auto &o : pending)
-        clock = std::max(clock, o.completeAt);
+    pending.forEach(
+        [&](const Outstanding &o) { clock = std::max(clock, o.completeAt); });
     pending.clear();
 }
 

@@ -16,9 +16,10 @@
 
 #pragma once
 
-#include <deque>
+#include <vector>
 
 #include "cache/cache_hierarchy.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "mem/hybrid_memory.h"
 #include "sim/sim_config.h"
@@ -32,7 +33,21 @@ class AddressMap
   public:
     AddressMap(u64 flatBytes, u64 virtualBytes, u64 seed);
 
-    Addr toPhysical(Addr globalVaddr) const;
+    Addr
+    toPhysical(Addr globalVaddr) const
+    {
+        h2_assert(globalVaddr < virtSize,
+                  "virtual address out of footprint");
+        u64 vpage = globalVaddr / pageBytes;
+        // The Feistel walk behind perm.map costs ~40% of a whole
+        // simulation when taken per access; the translation is a pure
+        // function of the page, so each page pays it once and every
+        // later access is one contiguous-lane load.
+        u64 ppage = pageLane[vpage];
+        if (ppage == kUnmapped)
+            ppage = pageLane[vpage] = perm.map(vpage);
+        return ppage * u64(pageBytes) + globalVaddr % pageBytes;
+    }
 
     u64 flatBytes() const { return flatSize; }
     u64 virtualBytes() const { return virtSize; }
@@ -40,9 +55,15 @@ class AddressMap
     static constexpr u32 pageBytes = 4096;
 
   private:
+    static constexpr u64 kUnmapped = ~u64(0);
+
     u64 flatSize;
     u64 virtSize;
     RandomPermutation perm;
+    /** Memoized vpage -> ppage lane (~0 = not yet translated). One
+     *  u64 per footprint page (0.2% overhead); filled lazily so the
+     *  first touch of each page keeps the exact permutation result. */
+    mutable std::vector<u64> pageLane;
 };
 
 /** One simulated core consuming a trace. */
@@ -59,6 +80,20 @@ class CoreModel
 
     /** Process one trace record. */
     void step();
+
+    /**
+     * Batched stepping: process trace records until the instruction
+     * budget @p instrTarget is met, the local clock reaches
+     * @p nowLimit, or @p maxSteps records have been consumed —
+     * whichever comes first.
+     *
+     * The caller (System::runUntil) computes @p nowLimit as the point
+     * where the global earliest-core schedule would switch to another
+     * core, so a batch of any size replays the exact scalar
+     * interleaving: results are bit-identical for every batch cap.
+     * @return the number of records processed (>= 0).
+     */
+    u32 stepBatch(u64 instrTarget, Tick nowLimit, u32 maxSteps);
 
     /** Wait for all outstanding misses (end of simulation). */
     void drain();
@@ -81,6 +116,49 @@ class CoreModel
         u64 instr;
     };
 
+    /** Fixed ring of in-flight misses: the retire loop runs every
+     *  step, and the population is bounded by maxOutstanding, so a
+     *  flat ring beats deque's chunked storage on the hot path. */
+    class MissRing
+    {
+      public:
+        void
+        init(u32 capacity)
+        {
+            buf.assign(capacity + 1, {});
+        }
+        bool empty() const { return head == tail; }
+        u64
+        size() const
+        {
+            return head <= tail ? tail - head
+                                : buf.size() - head + tail;
+        }
+        const Outstanding &front() const { return buf[head]; }
+        void pop_front() { head = wrap(head + 1); }
+        void
+        push_back(const Outstanding &o)
+        {
+            buf[tail] = o;
+            tail = wrap(tail + 1);
+            h2_assert(tail != head, "miss ring overflow");
+        }
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (u64 i = head; i != tail; i = wrap(i + 1))
+                fn(buf[i]);
+        }
+        void clear() { head = tail = 0; }
+
+      private:
+        u64 wrap(u64 i) const { return i == buf.size() ? 0 : i; }
+        std::vector<Outstanding> buf;
+        u64 head = 0;
+        u64 tail = 0;
+    };
+
     CoreId id;
     CoreParams p;
     workloads::TraceSource &trace;
@@ -98,7 +176,7 @@ class CoreModel
     u64 measInstr0 = 0;
     u64 measAccess0 = 0;
     Tick measClock0 = 0;
-    std::deque<Outstanding> pending;
+    MissRing pending;
 };
 
 } // namespace h2::sim

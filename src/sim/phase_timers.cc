@@ -1,0 +1,51 @@
+#include "sim/phase_timers.h"
+
+#include <atomic>
+
+namespace h2::sim {
+
+namespace {
+std::atomic<u64> setupNs{0};
+std::atomic<u64> warmupNs{0};
+std::atomic<u64> measureNs{0};
+
+std::atomic<u64> &
+slot(SimPhase p)
+{
+    switch (p) {
+    case SimPhase::Setup:
+        return setupNs;
+    case SimPhase::Warmup:
+        return warmupNs;
+    case SimPhase::Measure:
+        break;
+    }
+    return measureNs;
+}
+} // namespace
+
+void
+phaseTimerAdd(SimPhase p, u64 ns)
+{
+    slot(p).fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+phaseTimersReset()
+{
+    setupNs.store(0, std::memory_order_relaxed);
+    warmupNs.store(0, std::memory_order_relaxed);
+    measureNs.store(0, std::memory_order_relaxed);
+}
+
+PhaseTotals
+phaseTimerTotals()
+{
+    PhaseTotals t;
+    t.setupSeconds = setupNs.load(std::memory_order_relaxed) * 1e-9;
+    t.warmupSeconds = warmupNs.load(std::memory_order_relaxed) * 1e-9;
+    t.measureSeconds = measureNs.load(std::memory_order_relaxed) * 1e-9;
+    return t;
+}
+
+} // namespace h2::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Process-wide wall-clock attribution of simulation phases.
+ *
+ * System charges its construction to Setup and its run() halves to
+ * Warmup/Measure; harnesses (bench_wallclock) reset the accumulators
+ * before a pass and read the totals after it. The accumulators are
+ * atomics shared by every simulation in the process, so a parallel
+ * sweep adds up per-simulation time — the totals are attribution
+ * (which phase the CPU time went to), not elapsed wall time, and under
+ * --jobs > 1 they exceed the pass duration.
+ *
+ * This lives outside Metrics on purpose: Metrics must stay a pure
+ * function of the simulated machine (the bit-identity suites compare
+ * them with operator==), and wall-clock readings are anything but.
+ */
+
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+
+namespace h2::sim {
+
+enum class SimPhase { Setup, Warmup, Measure };
+
+/** Charge @p ns nanoseconds to phase @p p. */
+void phaseTimerAdd(SimPhase p, u64 ns);
+
+/** Zero all three accumulators (start of a timed pass). */
+void phaseTimersReset();
+
+struct PhaseTotals
+{
+    double setupSeconds = 0.0;
+    double warmupSeconds = 0.0;
+    double measureSeconds = 0.0;
+};
+
+/** Accumulated totals since the last phaseTimersReset(). */
+PhaseTotals phaseTimerTotals();
+
+/** RAII scope charging its lifetime to one phase. */
+class PhaseTimerScope
+{
+  public:
+    explicit PhaseTimerScope(SimPhase phase)
+        : p(phase), t0(std::chrono::steady_clock::now())
+    {
+    }
+
+    PhaseTimerScope(const PhaseTimerScope &) = delete;
+    PhaseTimerScope &operator=(const PhaseTimerScope &) = delete;
+
+    ~PhaseTimerScope()
+    {
+        auto dt = std::chrono::steady_clock::now() - t0;
+        phaseTimerAdd(
+            p, static_cast<u64>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                       .count()));
+    }
+
+  private:
+    SimPhase p;
+    std::chrono::steady_clock::time_point t0;
+};
+
+} // namespace h2::sim

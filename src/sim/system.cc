@@ -1,9 +1,11 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.h"
 #include "sim/interrupt.h"
+#include "sim/phase_timers.h"
 
 namespace h2::sim {
 
@@ -12,6 +14,7 @@ namespace {
 // cancelled run stops within milliseconds, rare enough that the
 // success path stays within measurement noise.
 constexpr u32 kCancelCheckStride = 2048;
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
 } // namespace
 
 System::System(const SystemConfig &config,
@@ -19,11 +22,15 @@ System::System(const SystemConfig &config,
                const DesignFactory &factory)
     : cfg(config), wl(workload)
 {
+    PhaseTimerScope timer(SimPhase::Setup);
     if (std::string err = validateSystemConfig(cfg); !err.empty())
         h2_fatal("invalid system config: ", err);
     cfg.hier.numCores = cfg.numCores;
     hier = std::make_unique<cache::CacheHierarchy>(cfg.hier);
     llcView = std::make_unique<HierarchyLlcView>(*hier);
+    if (cfg.simThreads > 1)
+        simPool = std::make_unique<ThreadPool>(cfg.simThreads);
+    cfg.mem.simPool = simPool.get();
     mem = factory(cfg.mem, *llcView);
     h2_assert(mem, "design factory returned nothing");
 
@@ -62,18 +69,66 @@ void
 System::runUntil(u64 instrTarget)
 {
     // Advance the globally earliest core, so cross-core memory
-    // contention is observed in (approximate) time order.
+    // contention is observed in (approximate) time order. The picked
+    // core drains a batch of records instead of a single one: it keeps
+    // stepping while it would still be the scheduler's choice, so the
+    // scalar earliest-core interleaving is replayed exactly and the
+    // dispatch overhead is paid once per batch, not once per record.
+    //
+    // The scheduler state lives in flat lanes (clock, eligibility)
+    // refreshed only for the core that just ran, so one contiguous
+    // pass both picks the earliest core and derives the batch limit.
     u32 untilCheck = kCancelCheckStride;
+    size_t n = cores.size();
+    std::vector<Tick> nowLane(n);
+    std::vector<u8> eligible(n);
+    for (size_t i = 0; i < n; ++i) {
+        nowLane[i] = cores[i]->now();
+        eligible[i] = cores[i]->instructions() < instrTarget;
+    }
+    constexpr size_t kNone = ~size_t(0);
     while (true) {
-        CoreModel *next = nullptr;
-        for (auto &core : cores)
-            if (core->instructions() < instrTarget &&
-                (!next || core->now() < next->now()))
-                next = core.get();
-        if (!next)
+        // Fused pick + limit scan. The pick is the first index with
+        // the minimum clock (lower indices win ties); it remains the
+        // scheduler's choice while its clock stays strictly below
+        // every eligible lower index (candLow) and at-or-below every
+        // eligible higher index (candHigh), so the batch may run
+        // until min(candLow, candHigh + 1).
+        size_t pick = kNone;
+        Tick best = 0;
+        Tick candLow = kTickMax;  // min clock among eligible j < pick
+        Tick candHigh = kTickMax; // min clock among eligible j > pick
+        for (size_t i = 0; i < n; ++i) {
+            if (!eligible[i])
+                continue;
+            Tick t = nowLane[i];
+            if (pick == kNone) {
+                pick = i;
+                best = t;
+            } else if (t < best) {
+                // Everything seen so far sits at a lower index than
+                // the new pick.
+                candLow = std::min(candLow, std::min(candHigh, best));
+                candHigh = kTickMax;
+                pick = i;
+                best = t;
+            } else {
+                candHigh = std::min(candHigh, t);
+            }
+        }
+        if (pick == kNone)
             break;
-        next->step();
-        if (--untilCheck == 0) {
+        Tick limit = std::min(
+            candLow, candHigh == kTickMax ? kTickMax : candHigh + 1);
+        u32 maxSteps = std::min(cfg.stepBatch, untilCheck);
+        u32 executed = cores[pick]->stepBatch(instrTarget, limit, maxSteps);
+        nowLane[pick] = cores[pick]->now();
+        if (cores[pick]->instructions() >= instrTarget)
+            eligible[pick] = 0;
+        ++nBatches;
+        batchFillSum += executed;
+        untilCheck -= executed;
+        if (untilCheck == 0) {
             untilCheck = kCancelCheckStride;
             checkCancellation();
         }
@@ -94,6 +149,7 @@ System::run()
         return t;
     };
     if (cfg.warmupInstrPerCore > 0) {
+        PhaseTimerScope timer(SimPhase::Warmup);
         runUntil(cfg.warmupInstrPerCore);
         for (auto &core : cores)
             core->beginMeasurement();
@@ -103,11 +159,14 @@ System::run()
         hier->resetStats();
         mem->resetStats();
     }
-    runUntil(cfg.warmupInstrPerCore + cfg.instrPerCore);
-    for (auto &core : cores)
-        core->drain();
-    mem->drainQueues(latestNow());
-    mem->checkInvariants();
+    {
+        PhaseTimerScope timer(SimPhase::Measure);
+        runUntil(cfg.warmupInstrPerCore + cfg.instrPerCore);
+        for (auto &core : cores)
+            core->drain();
+        mem->drainQueues(latestNow());
+        mem->checkInvariants();
+    }
     ran = true;
 }
 
@@ -143,6 +202,12 @@ System::metrics() const
     m.footprintBytes = wl.footprintBytes;
     hier->collectStats(m.detail);
     mem->collectStats(m.detail);
+    if (cfg.batchStats) {
+        m.detail.add("sim.batchesDispatched", double(nBatches));
+        m.detail.add("sim.avgBatchFill",
+                     nBatches ? double(batchFillSum) / double(nBatches)
+                              : 0.0);
+    }
     return m;
 }
 

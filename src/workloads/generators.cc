@@ -10,6 +10,7 @@ GeneratorBase::GeneratorBase(const GenParams &params)
     h2_assert(p.footprintBytes >= 4096, "footprint too small");
     h2_assert(p.memRatio > 0.0 && p.memRatio <= 1.0, "bad memRatio");
     h2_assert(p.writeFrac >= 0.0 && p.writeFrac <= 1.0, "bad writeFrac");
+    gapBase = 1.0 / p.memRatio - 1.0;
 }
 
 TraceRecord
@@ -19,10 +20,13 @@ GeneratorBase::next()
     // Expected instructions per access = 1/memRatio; the gap excludes
     // the access itself. Carry the fractional part so the ratio is met
     // exactly in the long run.
-    double gap = 1.0 / p.memRatio - 1.0 + gapCarry;
+    double gap = gapBase + gapCarry;
     rec.instGap = static_cast<u32>(gap);
     gapCarry = gap - rec.instGap;
-    rec.vaddr = nextAddr() % p.footprintBytes;
+    // Generators already bound their addresses; the modulo is a
+    // safety net whose u64 divide would otherwise tax every record.
+    Addr a = nextAddr();
+    rec.vaddr = a < p.footprintBytes ? a : a % p.footprintBytes;
     rec.type = rng.chance(p.writeFrac) ? AccessType::Write
                                        : AccessType::Read;
     return rec;
@@ -43,9 +47,16 @@ Addr
 StreamGen::nextAddr()
 {
     u32 s = turn;
-    turn = (turn + 1) % cursors.size();
+    if (++turn == cursors.size())
+        turn = 0;
     u64 addr = u64(s) * partitionBytes + cursors[s];
-    cursors[s] = (cursors[s] + p.accessStride) % partitionBytes;
+    // Wrap by subtraction: one stride past the end never reaches
+    // 2*partitionBytes, so the result matches the modulo exactly.
+    u64 c = cursors[s] + p.accessStride;
+    if (c >= partitionBytes)
+        c = p.accessStride <= partitionBytes ? c - partitionBytes
+                                             : c % partitionBytes;
+    cursors[s] = c;
     return addr;
 }
 
@@ -78,7 +89,9 @@ RandomGen::nextAddr()
         cursor = rng.below(p.footprintBytes) & ~Addr(63);
         remainingInBurst = p.burstLines;
     } else {
-        cursor = (cursor + 64) % p.footprintBytes;
+        cursor += 64; // footprint >= 4096, so one subtract wraps
+        if (cursor >= p.footprintBytes)
+            cursor -= p.footprintBytes;
     }
     --remainingInBurst;
     return cursor;
@@ -100,7 +113,9 @@ ZipfGen::nextAddr()
     if (rng.chance(p.hotProbability)) {
         // Resident loop over the hot region, one line per step.
         Addr a = hotCursor;
-        hotCursor = (hotCursor + 64) % hotBytes;
+        hotCursor += 64; // hotBytes >= 4096, so one subtract wraps
+        if (hotCursor >= hotBytes)
+            hotCursor -= hotBytes;
         return a;
     }
     // Cold tail: random jumps with short sequential bursts.
@@ -109,7 +124,9 @@ ZipfGen::nextAddr()
         coldCursor = rng.below(coldSpan) & ~Addr(63);
         coldRemaining = p.burstLines;
     } else {
-        coldCursor = (coldCursor + 64) % coldSpan;
+        coldCursor += 64; // coldSpan >= footprint/2 >= 2048 > 64
+        if (coldCursor >= coldSpan)
+            coldCursor -= coldSpan;
     }
     --coldRemaining;
     return hotBytes + coldCursor;
@@ -154,9 +171,14 @@ GatherGen::nextAddr()
     if (rng.chance(p.hotProbability))
         return rng.below(regionBytes) & ~Addr(7);
     u32 s = turn;
-    turn = (turn + 1) % cursors.size();
+    if (++turn == cursors.size())
+        turn = 0;
     u64 addr = regionBytes + u64(s) * partitionBytes + cursors[s];
-    cursors[s] = (cursors[s] + p.accessStride) % partitionBytes;
+    u64 c = cursors[s] + p.accessStride;
+    if (c >= partitionBytes)
+        c = p.accessStride <= partitionBytes ? c - partitionBytes
+                                             : c % partitionBytes;
+    cursors[s] = c;
     return addr;
 }
 

@@ -67,6 +67,10 @@ class GeneratorBase : public TraceSource
     Rng rng;
 
   private:
+    /** 1/memRatio - 1, hoisted out of next(): the FP divide is
+     *  loop-invariant and the precomputed value is bit-identical to
+     *  evaluating it per record. */
+    double gapBase = 0.0;
     double gapCarry = 0.0;
 };
 

@@ -1,0 +1,28 @@
+// h2lint fixture: R1 must flag every naming of the device's channel
+// shard types below when linted under a src/ (non-mem, non-dram)
+// logical path. Mentioning ChannelState in this comment must NOT
+// count — the scan runs on scrubbed code.
+#include "dram/dram_device.h"
+
+namespace h2::baselines {
+
+struct ShardPeeker
+{
+    dram::DramDevice *dev;
+
+    const dram::ChannelState &shard(u32 ch);     // line 13: R1
+    void poke(dram::BankState &bank);            // line 14: R1
+
+    u64
+    openRows()
+    {
+        u64 n = 0;
+        for (const ChannelState &ch : chans)     // line 20: R1
+            n += ch.banks.size();
+        return n;
+    }
+
+    std::vector<dram::ChannelState> chans;       // line 25: R1
+};
+
+} // namespace h2::baselines

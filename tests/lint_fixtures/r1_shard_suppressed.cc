@@ -1,0 +1,13 @@
+// h2lint fixture: a deliberate shard-type reference, silenced by the
+// inline suppression comment (a white-box probe that needs the raw
+// per-channel state is the legitimate use).
+#include "dram/dram_device.h"
+
+namespace h2::baselines {
+
+struct ShardProbe
+{
+    const dram::ChannelState &raw(u32 ch); // h2lint: allow(R1)
+};
+
+} // namespace h2::baselines

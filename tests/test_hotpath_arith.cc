@@ -143,9 +143,7 @@ TEST(XtaGeometry, FlatSectorRoundTrip)
     Rng rng(31);
     for (int i = 0; i < 1000; ++i) {
         u64 fs = rng.below(1u << 20);
-        core::XtaEntry e;
-        e.tag = x.tagOf(fs);
-        ASSERT_EQ(x.flatSectorOf(x.setOf(fs), e), fs);
+        ASSERT_EQ(x.flatSectorOf(x.setOf(fs), x.tagOf(fs)), fs);
     }
 }
 

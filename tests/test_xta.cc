@@ -40,11 +40,11 @@ TEST(Xta, FillInitializesEntry)
     way->validMask = 0xFF;
     way->accessCounter = 99;
     x.fill(7, *way);
-    EXPECT_TRUE(way->valid);
+    EXPECT_TRUE(x.entryValid(*way));
     EXPECT_EQ(way->validMask, 0u);
     EXPECT_EQ(way->dirtyMask, 0u);
     EXPECT_EQ(way->accessCounter, 0u);
-    EXPECT_EQ(way->tag, x.tagOf(7));
+    EXPECT_EQ(x.entryTag(*way), x.tagOf(7));
 }
 
 TEST(Xta, SetMapping)
@@ -74,7 +74,7 @@ TEST(Xta, InvalidWayPreferredOverLru)
     Xta x(16, 4, 8);
     x.fill(0, *x.victimWay(0));
     XtaEntry *victim = x.victimWay(4);
-    EXPECT_FALSE(victim->valid);
+    EXPECT_FALSE(x.entryValid(*victim));
 }
 
 TEST(Xta, PeekDoesNotDisturbLruOrStats)
